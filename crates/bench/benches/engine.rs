@@ -1,0 +1,83 @@
+//! Criterion benches for the XML/XPath/XSLT substrates in isolation —
+//! regression guards for the engines the QEG pipeline is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use irisnet_bench::{DbParams, ParkingDb};
+use sensorxslt::{compile, parse_stylesheet};
+
+fn bench_xml(c: &mut Criterion) {
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    let root = db.master.root().unwrap();
+    let text = sensorxml::serialize(&db.master, root);
+    c.bench_function("xml/parse_master_2400_spaces", |b| {
+        b.iter(|| sensorxml::parse(black_box(&text)).unwrap())
+    });
+    c.bench_function("xml/serialize_master_2400_spaces", |b| {
+        b.iter(|| sensorxml::serialize(black_box(&db.master), root))
+    });
+    c.bench_function("xml/canonical_block", |b| {
+        let block = db.block_path(0, 0, 0).resolve(&db.master).unwrap();
+        b.iter(|| sensorxml::canonical_string(black_box(&db.master), block))
+    });
+    c.bench_function("xml/deep_copy_block", |b| {
+        let block = db.block_path(0, 0, 0).resolve(&db.master).unwrap();
+        b.iter(|| {
+            let mut dst = sensorxml::Document::new();
+            db.master.deep_copy_into(black_box(block), &mut dst)
+        })
+    });
+}
+
+fn bench_xpath_engine(c: &mut Criterion) {
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    let root = db.master.root().unwrap();
+    let ctx_node = sensorxpath::XNode::Node(root);
+
+    for (label, q) in [
+        ("descendant_sweep", "//parkingSpace[available='yes']"),
+        (
+            "nested_min_price",
+            "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
+             /city[@id='Pittsburgh']/neighborhood[@id='n1']/block[@id='1']\
+             /parkingSpace[not(price > ../parkingSpace/price)]",
+        ),
+        ("count_aggregate", "count(//parkingSpace[price='0'])"),
+    ] {
+        let expr = sensorxpath::parse(q).unwrap();
+        c.bench_function(&format!("xpath/{label}"), |b| {
+            b.iter(|| sensorxpath::evaluate_at(black_box(&expr), &db.master, ctx_node).unwrap())
+        });
+    }
+}
+
+fn bench_xslt_engine(c: &mut Criterion) {
+    let sheet_text = r#"<xsl:stylesheet version="1.0">
+        <xsl:template match="/">
+          <summary><xsl:apply-templates select="//neighborhood"/></summary>
+        </xsl:template>
+        <xsl:template match="neighborhood">
+          <n id="{@id}" free="{count(block/parkingSpace[available='yes'])}"/>
+        </xsl:template>
+      </xsl:stylesheet>"#;
+    c.bench_function("xslt/parse_stylesheet", |b| {
+        b.iter(|| parse_stylesheet(black_box(sheet_text)).unwrap())
+    });
+    let sheet = parse_stylesheet(sheet_text).unwrap();
+    c.bench_function("xslt/compile", |b| {
+        b.iter_batched(
+            || sheet.clone(),
+            |s| compile(s).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let compiled = compile(sheet).unwrap();
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    c.bench_function("xslt/apply_summary_over_master", |b| {
+        b.iter(|| sensorxslt::apply(black_box(&compiled), &db.master).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_xml, bench_xpath_engine, bench_xslt_engine);
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Criterion micro-benchmarks for the query-processing pipeline — the
+//! per-operation counterpart of Fig. 11, plus the ablations DESIGN.md
+//! calls out (naive vs fast XSLT creation, subsumption coalescing, DNS
+//! cache on/off).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use irisdns::{AuthoritativeDns, CachingResolver, DnsName, SiteAddr};
+use irisnet_bench::{DbParams, ParkingDb};
+use irisnet_core::qeg::{plan_query, QegFactory};
+use irisnet_core::{IdPath, SiteDatabase, XsltCreation};
+
+const Q1: &str = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
+    /city[@id='Pittsburgh']/neighborhood[@id='n1']/block[@id='7']\
+    /parkingSpace[available='yes']";
+
+fn nbhd_db(params: DbParams) -> (ParkingDb, SiteDatabase) {
+    let db = ParkingDb::generate(params, 1);
+    let mut site = SiteDatabase::new(db.service.clone());
+    site.bootstrap_owned(&db.master, &db.neighborhood_path(0, 0), true)
+        .expect("bootstrap");
+    (db, site)
+}
+
+fn bench_xpath(c: &mut Criterion) {
+    c.bench_function("xpath/parse_type1_query", |b| {
+        b.iter(|| sensorxpath::parse(black_box(Q1)).unwrap())
+    });
+
+    let (db, _) = nbhd_db(DbParams::small());
+    let expr = sensorxpath::parse(Q1).unwrap();
+    let root = db.master.root().unwrap();
+    c.bench_function("xpath/eval_type1_on_master_2400", |b| {
+        b.iter(|| {
+            sensorxpath::evaluate_at(
+                black_box(&expr),
+                &db.master,
+                sensorxpath::XNode::Node(root),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_qeg_creation(c: &mut Criterion) {
+    // The Fig. 11 "Creating the XSLT query" dimension.
+    let (db, _) = nbhd_db(DbParams::small());
+    let expr = sensorxpath::parse(Q1).unwrap();
+    let plan = plan_query(&expr, &db.service).unwrap();
+
+    let mut naive = QegFactory::new(db.service.clone(), XsltCreation::Naive);
+    c.bench_function("qeg/create_naive", |b| {
+        b.iter(|| naive.create(black_box(&plan)).unwrap())
+    });
+
+    let mut fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
+    fast.create(&plan).unwrap(); // prime the skeleton
+    c.bench_function("qeg/create_fast_patched", |b| {
+        b.iter(|| fast.create(black_box(&plan)).unwrap())
+    });
+}
+
+fn bench_qeg_execution(c: &mut Criterion) {
+    // The Fig. 11 "Executing the XSLT query" dimension, small vs large DB.
+    for (label, params) in [("small", DbParams::small()), ("large8x", DbParams::large())] {
+        let (db, site) = nbhd_db(params);
+        let expr = sensorxpath::parse(Q1).unwrap();
+        let plan = plan_query(&expr, &db.service).unwrap();
+        let mut fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
+        let prog = fast.create(&plan).unwrap();
+        c.bench_function(&format!("qeg/execute_nbhd_{label}"), |b| {
+            b.iter(|| prog.execute(black_box(&site), 0.0).unwrap())
+        });
+    }
+}
+
+fn bench_fragment_ops(c: &mut Criterion) {
+    let (db, owner) = nbhd_db(DbParams::small());
+    let block = db.block_path(0, 0, 3);
+    let frag = owner.export_subtrees(std::slice::from_ref(&block)).unwrap();
+
+    c.bench_function("fragment/export_block_subtree", |b| {
+        b.iter(|| owner.export_subtrees(black_box(std::slice::from_ref(&block))).unwrap())
+    });
+
+    c.bench_function("fragment/merge_block_into_cache", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = SiteDatabase::new(db.service.clone());
+                cache
+                    .bootstrap_owned(&db.master, &db.neighborhood_path(0, 1), true)
+                    .unwrap();
+                cache
+            },
+            |mut cache| cache.merge_fragment(black_box(&frag)).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let frag_root = frag.root().unwrap();
+    c.bench_function("fragment/serialize_block_wire", |b| {
+        b.iter(|| sensorxml::serialize(black_box(&frag), frag_root))
+    });
+    let wire = sensorxml::serialize(&frag, frag_root);
+    c.bench_function("fragment/parse_block_wire", |b| {
+        b.iter(|| sensorxml::parse(black_box(&wire)).unwrap())
+    });
+
+    let mut owner2 = owner.clone();
+    let sp = block.child("parkingSpace", "1");
+    c.bench_function("fragment/apply_update", |b| {
+        let mut ts = 0.0f64;
+        b.iter(|| {
+            ts += 1.0;
+            owner2
+                .apply_update(
+                    black_box(&sp),
+                    &[("available".to_string(), "yes".to_string())],
+                    ts,
+                )
+                .unwrap()
+        })
+    });
+
+    // Ablation: subsumption coalescing of a fully-covered block.
+    let spaces: Vec<IdPath> = (0..db.params.spaces_per_block)
+        .map(|si| block.child("parkingSpace", format!("{}", si + 1)))
+        .collect();
+    c.bench_function("fragment/coalesce_covering_20_spaces", |b| {
+        b.iter(|| owner.coalesce_covering_paths(black_box(&spaces)))
+    });
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    let mut auth = AuthoritativeDns::new();
+    for bp in db.all_block_paths() {
+        auth.register(&db.service.dns_name(&bp), SiteAddr(1));
+    }
+    let name = db.service.dns_name(&db.block_path(1, 2, 15));
+    c.bench_function("dns/authoritative_lookup", |b| {
+        b.iter(|| auth.lookup(black_box(&name)).unwrap())
+    });
+
+    // Ablation: resolver caching on vs off (cold every time).
+    let mut cached = CachingResolver::new(3600.0);
+    cached.resolve(&name, &auth, 0.0).unwrap();
+    c.bench_function("dns/resolver_cached", |b| {
+        b.iter(|| cached.resolve(black_box(&name), &auth, 1.0).unwrap())
+    });
+    let mut uncached = CachingResolver::new(0.0);
+    c.bench_function("dns/resolver_uncached", |b| {
+        b.iter(|| uncached.resolve(black_box(&name), &auth, 1.0).unwrap())
+    });
+
+    c.bench_function("dns/name_from_id_path", |b| {
+        b.iter(|| {
+            DnsName::from_id_path(
+                black_box(&["NE", "PA", "Allegheny", "Pittsburgh"]),
+                "parking.intel-iris.net",
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xpath,
+    bench_qeg_creation,
+    bench_qeg_execution,
+    bench_fragment_ops,
+    bench_dns
+);
+criterion_main!(benches);

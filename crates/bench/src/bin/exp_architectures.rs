@@ -1,0 +1,98 @@
+//! Fig. 7 — Query throughputs for the four architectures of Fig. 6,
+//! under workloads QW-1..QW-4 and QW-Mix, with the background sensor
+//! update stream that motivates distributing updates in the first place.
+//!
+//! Expected shape (paper):
+//! * Architecture 1 (centralized) is worst everywhere (updates + queries
+//!   saturate one machine);
+//! * Architecture 2 roughly doubles Architecture 1 (updates offloaded);
+//! * Architecture 3 is ~3× Architecture 2 on QW-1 (self-starting DNS
+//!   routing) but no better elsewhere (central bottleneck);
+//! * Architecture 4 trails Architecture 3 by ~25% on QW-1 (6 vs 8 query
+//!   sites) and wins everything else, ≥60% ahead on QW-Mix.
+
+use irisnet_bench::{build_cluster, Arch, DbParams, ParkingDb, QueryType, Workload};
+use irisnet_bench::runner::run_throughput;
+use irisnet_core::{Message, OaConfig};
+use simnet::CostModel;
+
+const DURATION: f64 = 40.0;
+const WARMUP: f64 = 10.0;
+/// Each of the 2400 spaces refreshes twice a minute: 80 updates/s total
+/// (webcam-backed spots refresh frequently; this is what makes the
+/// centralized architecture collapse, §5.2/§5.3).
+const UPDATE_INTERVAL: f64 = 30.0;
+
+fn costs() -> CostModel {
+    irisnet_bench::runner::paper_costs()
+}
+
+fn run_one(arch: Arch, workload_name: &str, mk: impl FnOnce(&ParkingDb) -> Workload) -> f64 {
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    let mut built = build_cluster(arch, &db, costs(), OaConfig::default(), 9);
+
+    // Background update stream to the block owners.
+    let spaces = db.all_space_paths();
+    let spb = db.params.spaces_per_block;
+    let blocks = db.all_block_paths();
+    let total_updates = (spaces.len() as f64 / UPDATE_INTERVAL * DURATION) as usize;
+    for k in 0..total_updates {
+        let idx = k % spaces.len();
+        let at = k as f64 * UPDATE_INTERVAL / spaces.len() as f64;
+        let owner = built.block_owner[&blocks[idx / spb]];
+        built.sim.schedule_message(
+            at,
+            owner,
+            Message::Update {
+                path: spaces[idx].clone(),
+                fields: vec![(
+                    "available".to_string(),
+                    if k % 2 == 0 { "yes" } else { "no" }.to_string(),
+                )],
+            },
+        );
+    }
+
+    let mut w = mk(&db);
+    built.sim.set_client_load(simnet::ClientLoad {
+        clients: 48,
+        think_time: 0.02,
+        query_gen: Box::new(move |_| w.next_query()),
+    });
+    let res = run_throughput(&mut built.sim, DURATION, WARMUP);
+    assert!(
+        res.error_rate < 0.01,
+        "{arch:?}/{workload_name}: error rate {}",
+        res.error_rate
+    );
+    res.qps
+}
+
+fn main() {
+    println!("== Fig. 7: query throughput by architecture and workload (queries/sec) ==\n");
+    type WorkloadMk = Box<dyn Fn(&ParkingDb) -> Workload>;
+    let workloads: Vec<(&str, WorkloadMk)> = vec![
+        ("QW-1", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T1, 11))),
+        ("QW-2", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T2, 12))),
+        ("QW-3", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T3, 13))),
+        ("QW-4", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T4, 14))),
+        ("QW-Mix", Box::new(|db: &ParkingDb| Workload::qw_mix(db, 15))),
+    ];
+
+    print!("{:<46}", "Architecture");
+    for (name, _) in &workloads {
+        print!(" {name:>8}");
+    }
+    println!();
+    println!("{}", "-".repeat(46 + 9 * workloads.len()));
+
+    for arch in Arch::ALL {
+        print!("{:<46}", arch.label());
+        for (name, mk) in &workloads {
+            let qps = run_one(arch, name, |db| mk(db));
+            print!(" {qps:>8.1}");
+        }
+        println!();
+    }
+    println!("\n(closed loop, 48 clients, {}s run, {}s warmup, 40 updates/s background)", DURATION, WARMUP);
+}

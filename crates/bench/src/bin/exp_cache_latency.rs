@@ -1,0 +1,65 @@
+//! §5.5 (text) — Effect of caching on query latency.
+//!
+//! Paper: "even for our local area set-up, query latencies are reduced by
+//! 10–33% for type 3 and type 4 queries, and for the mixed workload. We
+//! plan to study the latency savings for wide area networks, where the
+//! impact of caching should be more pronounced."
+//!
+//! We run Architecture 4 with caching on/off under LAN (1 ms) and WAN
+//! (40 ms) one-way latencies and report mean latency per workload.
+
+use irisnet_bench::runner::{paper_costs, run_throughput};
+use irisnet_bench::{build_cluster, Arch, DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{CacheMode, OaConfig};
+use simnet::{ClientLoad, CostModel};
+
+const DURATION: f64 = 60.0;
+const WARMUP: f64 = 20.0;
+
+fn run_one(cache: CacheMode, net_latency: f64, mk: impl FnOnce(&ParkingDb) -> Workload) -> f64 {
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    let costs = CostModel { net_latency, ..paper_costs() };
+    let cfg = OaConfig { cache, ..OaConfig::default() };
+    let mut built = build_cluster(Arch::Hierarchical, &db, costs, cfg, 9);
+    let mut w = mk(&db);
+    // Light load: latency, not saturation, is the quantity of interest.
+    built.sim.set_client_load(ClientLoad {
+        clients: 4,
+        think_time: 0.2,
+        query_gen: Box::new(move |_| w.next_query()),
+    });
+    let res = run_throughput(&mut built.sim, DURATION, WARMUP);
+    assert!(res.error_rate < 0.01, "error rate {}", res.error_rate);
+    res.latency.mean * 1000.0
+}
+
+fn main() {
+    println!("== §5.5: query latency with and without caching (mean ms/query) ==\n");
+    type WorkloadMk = Box<dyn Fn(&ParkingDb) -> Workload>;
+    let workloads: Vec<(&str, WorkloadMk)> = vec![
+        ("QW-3", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T3, 51))),
+        ("QW-4", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T4, 52))),
+        ("QW-Mix", Box::new(|db: &ParkingDb| Workload::qw_mix(db, 53))),
+    ];
+    for (net_label, lat) in [("LAN (1 ms)", 0.001), ("WAN (40 ms)", 0.040)] {
+        println!("-- {net_label} --");
+        println!(
+            "{:<10} {:>14} {:>14} {:>10}",
+            "Workload", "no caching", "caching", "saving"
+        );
+        for (name, mk) in &workloads {
+            let off = run_one(CacheMode::Off, lat, |db| mk(db));
+            let on = run_one(CacheMode::Aggressive, lat, |db| mk(db));
+            println!(
+                "{:<10} {:>12.1}ms {:>12.1}ms {:>9.0}%",
+                name,
+                off,
+                on,
+                (1.0 - on / off) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("(paper: 10-33% latency reduction for QW-3/QW-4/QW-Mix on a LAN;");
+    println!(" larger savings expected in wide-area settings)");
+}

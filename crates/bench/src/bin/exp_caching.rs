@@ -1,0 +1,92 @@
+//! Fig. 10 — Caching throughputs on Architecture 4 (§5.5).
+//!
+//! Four configurations: no caching; caching with 0% / 50% / 100% hit
+//! probability (the hit probability is a per-query draw controlling
+//! whether the query may use cached data — `OaConfig::cache_hit_prob`).
+//!
+//! Expected shape (paper):
+//! * caching has minimal overhead (0% hits ≈ no caching);
+//! * QW-1/QW-2 unaffected (those queries already land on the sites with
+//!   the full data);
+//! * QW-3/QW-4 throughput *drops* as the hit rate grows — the top-level
+//!   sites answer everything themselves and become the bottleneck;
+//! * the realistic QW-Mix *improves* (paper: up to 33%) because otherwise
+//!   idle top-level sites absorb load from the lower-level sites.
+
+use irisnet_bench::runner::{paper_costs, run_throughput};
+use irisnet_bench::{build_cluster, Arch, DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{CacheMode, OaConfig};
+use simnet::ClientLoad;
+
+const DURATION: f64 = 60.0;
+const WARMUP: f64 = 20.0;
+
+fn config(mode: CacheMode, hit_prob: f64) -> OaConfig {
+    OaConfig {
+        cache: mode,
+        cache_hit_prob: hit_prob,
+        ..OaConfig::default()
+    }
+}
+
+fn run_one(cfg: OaConfig, doc_scan_cpu: f64, mk: impl FnOnce(&ParkingDb) -> Workload) -> f64 {
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    let costs = simnet::CostModel { doc_scan_cpu, ..paper_costs() };
+    let mut built = build_cluster(Arch::Hierarchical, &db, costs, cfg, 9);
+    let mut w = mk(&db);
+    built.sim.set_client_load(ClientLoad {
+        clients: 48,
+        think_time: 0.02,
+        query_gen: Box::new(move |_| w.next_query()),
+    });
+    let res = run_throughput(&mut built.sim, DURATION, WARMUP);
+    assert!(res.error_rate < 0.01, "error rate {}", res.error_rate);
+    res.qps
+}
+
+fn main() {
+    let configs: Vec<(&str, OaConfig)> = vec![
+        ("No caching", config(CacheMode::Off, 1.0)),
+        ("Caching, 0% hits", config(CacheMode::Aggressive, 0.0)),
+        ("Caching, 50% hits", config(CacheMode::Aggressive, 0.5)),
+        ("Caching, 100% hits", config(CacheMode::Aggressive, 1.0)),
+    ];
+    type WorkloadMk = Box<dyn Fn(&ParkingDb) -> Workload>;
+    let workloads: Vec<(&str, WorkloadMk)> = vec![
+        ("QW-1", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T1, 41))),
+        ("QW-2", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T2, 42))),
+        ("QW-3", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T3, 43))),
+        ("QW-4", Box::new(|db: &ParkingDb| Workload::uniform(db, QueryType::T4, 44))),
+        ("QW-Mix", Box::new(|db: &ParkingDb| Workload::qw_mix(db, 45))),
+    ];
+
+    // Two engine models: (a) this crate's engine, whose id-pinned
+    // evaluation is nearly independent of document size; (b) the paper's
+    // prototype (Xalan template matching scans the whole site document),
+    // modelled by charging ~30 ms of CPU per 1000 stored nodes — the value
+    // implied by Fig. 11's ~100 ms execution time on a ~3000-node
+    // neighborhood fragment. The paper's bottleneck inversion for QW-3/4
+    // appears under (b).
+    for (title, scan) in [
+        ("engine-measured costs (this implementation)", 0.0),
+        ("document-scan costs (paper's Xalan prototype)", 0.030),
+    ] {
+        println!("== Fig. 10: caching throughputs, Architecture 4 — {title} ==\n");
+        print!("{:<24}", "Configuration");
+        for (name, _) in &workloads {
+            print!(" {name:>8}");
+        }
+        println!();
+        println!("{}", "-".repeat(24 + 9 * workloads.len()));
+        for (label, cfg) in &configs {
+            print!("{label:<24}");
+            for (_, mk) in &workloads {
+                let qps = run_one(cfg.clone(), scan, |db| mk(db));
+                print!(" {qps:>8.1}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(closed loop, 48 clients, {DURATION}s run, {WARMUP}s warmup)");
+}

@@ -1,0 +1,77 @@
+//! Wide-area deployment (paper §7: "we anticipate that these advantages
+//! will only increase when IrisNet is deployed over hundreds of sites and
+//! thousands of miles").
+//!
+//! Two metro regions, 2 ms apart internally and 50 ms apart from each
+//! other: city Pittsburgh's sites in region A, city Philadelphia's in
+//! region B, the hierarchy top in region A. Cross-city (type 4) queries
+//! pay the wide-area link on every gather — unless caching keeps the
+//! remote city's data nearby.
+
+use irisdns::SiteAddr;
+use irisnet_bench::runner::{paper_costs, run_throughput};
+use irisnet_bench::{build_cluster, Arch, DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{CacheMode, OaConfig};
+use simnet::ClientLoad;
+
+const DURATION: f64 = 60.0;
+const WARMUP: f64 = 20.0;
+const WAN: f64 = 0.050;
+const LAN: f64 = 0.002;
+
+fn run_one(cache: CacheMode, qt: QueryType) -> (f64, f64) {
+    let db = ParkingDb::generate(DbParams::small(), 1);
+    let cfg = OaConfig { cache, ..OaConfig::default() };
+    let mut built = build_cluster(Arch::Hierarchical, &db, paper_costs(), cfg, 9);
+
+    // Region A: site 1 (top), 2 (city P), 4..6 (P's neighborhoods).
+    // Region B: site 3 (city Q), 7..9 (Q's neighborhoods).
+    let region_a = [1u32, 2, 4, 5, 6].map(SiteAddr);
+    let region_b = [3u32, 7, 8, 9].map(SiteAddr);
+    for &a in &region_a {
+        for &b in &region_b {
+            built.sim.set_link_latency(a, b, WAN);
+        }
+    }
+    for r in [&region_a[..], &region_b[..]] {
+        for (i, &a) in r.iter().enumerate() {
+            for &b in &r[i + 1..] {
+                built.sim.set_link_latency(a, b, LAN);
+            }
+        }
+    }
+
+    let mut w = Workload::uniform(&db, qt, 61);
+    built.sim.set_client_load(ClientLoad {
+        clients: 8,
+        think_time: 0.1,
+        query_gen: Box::new(move |_| w.next_query()),
+    });
+    let res = run_throughput(&mut built.sim, DURATION, WARMUP);
+    assert!(res.error_rate < 0.01);
+    (res.latency.p50 * 1000.0, res.latency.p90 * 1000.0)
+}
+
+fn main() {
+    println!("== Wide-area deployment: two regions 50 ms apart ==\n");
+    println!(
+        "{:<10} {:>18} {:>18} {:>18} {:>18}",
+        "Workload", "no-cache p50 (ms)", "no-cache p90", "cached p50 (ms)", "cached p90"
+    );
+    println!("{}", "-".repeat(88));
+    for qt in [QueryType::T3, QueryType::T4] {
+        let (off50, off90) = run_one(CacheMode::Off, qt);
+        let (on50, on90) = run_one(CacheMode::Aggressive, qt);
+        println!(
+            "{:<10} {:>18.0} {:>18.0} {:>18.0} {:>18.0}",
+            qt.workload_name(),
+            off50,
+            off90,
+            on50,
+            on90
+        );
+    }
+    println!("\nType 4 queries cross the 50 ms wide-area link to gather without");
+    println!("caching; with caching the county site keeps both cities' data local");
+    println!("and the wide-area hops disappear from the steady state.");
+}

@@ -1,0 +1,253 @@
+//! Synthetic Parking Space Finder databases (§5.1).
+//!
+//! The paper's base database models a small part of a nationwide service:
+//! 2 cities × 3 neighborhoods × 20 blocks × 20 parking spaces = 2400
+//! spaces under `usRegion NE / state PA / county Allegheny`. The "large"
+//! variant (Fig. 11) multiplies neighborhoods, blocks and spaces by 2 each
+//! for an 8× document.
+
+use std::sync::Arc;
+
+use irisnet_core::{IdPath, Service};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sensorxml::Document;
+
+/// Database shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbParams {
+    pub cities: usize,
+    pub neighborhoods_per_city: usize,
+    pub blocks_per_neighborhood: usize,
+    pub spaces_per_block: usize,
+}
+
+impl DbParams {
+    /// The paper's base database (2400 spaces).
+    pub fn small() -> DbParams {
+        DbParams {
+            cities: 2,
+            neighborhoods_per_city: 3,
+            blocks_per_neighborhood: 20,
+            spaces_per_block: 20,
+        }
+    }
+
+    /// The 8× database of Fig. 11 (19200 spaces): double the
+    /// neighborhoods, blocks and spaces.
+    pub fn large() -> DbParams {
+        DbParams {
+            cities: 2,
+            neighborhoods_per_city: 6,
+            blocks_per_neighborhood: 40,
+            spaces_per_block: 40,
+        }
+    }
+
+    /// Total parking spaces.
+    pub fn total_spaces(&self) -> usize {
+        self.cities * self.neighborhoods_per_city * self.blocks_per_neighborhood
+            * self.spaces_per_block
+    }
+}
+
+const CITY_NAMES: &[&str] = &[
+    "Pittsburgh",
+    "Philadelphia",
+    "Harrisburg",
+    "Erie",
+    "Altoona",
+    "Scranton",
+];
+
+/// A generated master document plus path helpers.
+pub struct ParkingDb {
+    pub service: Arc<Service>,
+    pub params: DbParams,
+    pub master: Document,
+}
+
+impl ParkingDb {
+    /// Generates a database with deterministic pseudo-random availability
+    /// and prices.
+    pub fn generate(params: DbParams, seed: u64) -> ParkingDb {
+        assert!(
+            params.cities <= CITY_NAMES.len(),
+            "at most {} cities supported",
+            CITY_NAMES.len()
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut doc = Document::new();
+        let us = doc.create_element("usRegion");
+        doc.set_attr(us, "id", "NE");
+        doc.set_root(us).expect("fresh document");
+        let state = child(&mut doc, us, "state", "PA");
+        let county = child(&mut doc, state, "county", "Allegheny");
+        for city_name in CITY_NAMES.iter().take(params.cities) {
+            let city = child(&mut doc, county, "city", city_name);
+            for ni in 0..params.neighborhoods_per_city {
+                let n = child(&mut doc, city, "neighborhood", &format!("n{}", ni + 1));
+                doc.set_attr(n, "zipcode", format!("152{:02}", ni + 1));
+                for bi in 0..params.blocks_per_neighborhood {
+                    let b = child(&mut doc, n, "block", &format!("{}", bi + 1));
+                    for si in 0..params.spaces_per_block {
+                        let sp = child(&mut doc, b, "parkingSpace", &format!("{}", si + 1));
+                        let avail = doc.create_element("available");
+                        doc.append_child(sp, avail);
+                        let yes = rng.random_bool(0.5);
+                        doc.set_text_content(avail, if yes { "yes" } else { "no" });
+                        let price = doc.create_element("price");
+                        doc.append_child(sp, price);
+                        let p = [0, 25, 50][rng.random_range(0..3)];
+                        doc.set_text_content(price, p.to_string());
+                        let meter = doc.create_element("meterHours");
+                        doc.append_child(sp, meter);
+                        doc.set_text_content(meter, format!("{}", rng.random_range(1..=8)));
+                    }
+                }
+            }
+        }
+        ParkingDb {
+            service: Service::parking(),
+            params,
+            master: doc,
+        }
+    }
+
+    /// Path of the document root node.
+    pub fn root_path(&self) -> IdPath {
+        IdPath::from_pairs([("usRegion", "NE")])
+    }
+
+    /// Path of the (single) county node.
+    pub fn county_path(&self) -> IdPath {
+        self.root_path()
+            .child("state", "PA")
+            .child("county", "Allegheny")
+    }
+
+    /// City name by index.
+    pub fn city_name(&self, ci: usize) -> &'static str {
+        CITY_NAMES[ci]
+    }
+
+    /// Path of city `ci`.
+    pub fn city_path(&self, ci: usize) -> IdPath {
+        self.county_path().child("city", CITY_NAMES[ci])
+    }
+
+    /// Path of neighborhood `ni` of city `ci` (0-based indices).
+    pub fn neighborhood_path(&self, ci: usize, ni: usize) -> IdPath {
+        self.city_path(ci).child("neighborhood", format!("n{}", ni + 1))
+    }
+
+    /// Path of a block (0-based indices).
+    pub fn block_path(&self, ci: usize, ni: usize, bi: usize) -> IdPath {
+        self.neighborhood_path(ci, ni)
+            .child("block", format!("{}", bi + 1))
+    }
+
+    /// Path of a parking space (0-based indices).
+    pub fn space_path(&self, ci: usize, ni: usize, bi: usize, si: usize) -> IdPath {
+        self.block_path(ci, ni, bi)
+            .child("parkingSpace", format!("{}", si + 1))
+    }
+
+    /// All block paths in generation order.
+    pub fn all_block_paths(&self) -> Vec<IdPath> {
+        let mut out = Vec::new();
+        for ci in 0..self.params.cities {
+            for ni in 0..self.params.neighborhoods_per_city {
+                for bi in 0..self.params.blocks_per_neighborhood {
+                    out.push(self.block_path(ci, ni, bi));
+                }
+            }
+        }
+        out
+    }
+
+    /// All parking-space paths (one per sensor).
+    pub fn all_space_paths(&self) -> Vec<IdPath> {
+        let mut out = Vec::with_capacity(self.params.total_spaces());
+        for ci in 0..self.params.cities {
+            for ni in 0..self.params.neighborhoods_per_city {
+                for bi in 0..self.params.blocks_per_neighborhood {
+                    for si in 0..self.params.spaces_per_block {
+                        out.push(self.space_path(ci, ni, bi, si));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn child(
+    doc: &mut Document,
+    parent: sensorxml::NodeId,
+    tag: &str,
+    id: &str,
+) -> sensorxml::NodeId {
+    let e = doc.create_element(tag);
+    doc.set_attr(e, "id", id);
+    doc.append_child(parent, e);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_db_has_2400_spaces() {
+        let params = DbParams::small();
+        assert_eq!(params.total_spaces(), 2400);
+        let db = ParkingDb::generate(params, 1);
+        // Count actual parkingSpace elements.
+        let root = db.master.root().unwrap();
+        let count = db
+            .master
+            .descendants(root)
+            .filter(|&n| db.master.name(n) == "parkingSpace")
+            .count();
+        assert_eq!(count, 2400);
+    }
+
+    #[test]
+    fn large_db_is_8x() {
+        assert_eq!(DbParams::large().total_spaces(), 2400 * 8);
+    }
+
+    #[test]
+    fn paths_resolve_in_master() {
+        let db = ParkingDb::generate(DbParams::small(), 1);
+        assert!(db.root_path().resolve(&db.master).is_some());
+        assert!(db.block_path(1, 2, 19).resolve(&db.master).is_some());
+        assert!(db.space_path(0, 0, 0, 0).resolve(&db.master).is_some());
+        assert_eq!(db.all_block_paths().len(), 2 * 3 * 20);
+        assert_eq!(db.all_space_paths().len(), 2400);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ParkingDb::generate(DbParams::small(), 7);
+        let b = ParkingDb::generate(DbParams::small(), 7);
+        assert!(sensorxml::unordered_eq(
+            &a.master,
+            a.master.root().unwrap(),
+            &b.master,
+            b.master.root().unwrap()
+        ));
+    }
+
+    #[test]
+    fn spaces_have_reading_fields() {
+        let db = ParkingDb::generate(DbParams::small(), 3);
+        let sp = db.space_path(0, 1, 5, 9).resolve(&db.master).unwrap();
+        let avail = db.master.child_by_name(sp, "available").unwrap();
+        let t = db.master.text_content(avail);
+        assert!(t == "yes" || t == "no");
+        let price = db.master.child_by_name(sp, "price").unwrap();
+        assert!(["0", "25", "50"].contains(&db.master.text_content(price).as_str()));
+    }
+}

@@ -1,0 +1,334 @@
+//! Query workloads (§5.1).
+//!
+//! * **Type 1** — one block, exact path (LCA = block);
+//! * **Type 2** — two blocks of one neighborhood (LCA = neighborhood);
+//! * **Type 3** — two blocks of two neighborhoods in one city (LCA = city);
+//! * **Type 4** — two blocks of two different cities (LCA = county);
+//! * **QW-Mix** — 40% / 40% / 15% / 5%;
+//! * **QW-Mix2** — 50% / 50% of types 1 and 2 (Fig. 8);
+//! * skewed variants direct a fraction of type 1/2 queries at one fixed
+//!   neighborhood (§5.3–5.4).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::parkingdb::ParkingDb;
+
+/// The paper's four query types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    T1,
+    T2,
+    T3,
+    T4,
+}
+
+impl QueryType {
+    /// All types in order.
+    pub const ALL: [QueryType; 4] = [QueryType::T1, QueryType::T2, QueryType::T3, QueryType::T4];
+
+    /// Workload label as used in the paper ("QW-1" ... "QW-4").
+    pub fn workload_name(self) -> &'static str {
+        match self {
+            QueryType::T1 => "QW-1",
+            QueryType::T2 => "QW-2",
+            QueryType::T3 => "QW-3",
+            QueryType::T4 => "QW-4",
+        }
+    }
+}
+
+/// Where a fraction of queries is concentrated (skew experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct Skew {
+    pub city: usize,
+    pub neighborhood: usize,
+    /// Fraction of queries targeting the fixed neighborhood.
+    pub fraction: f64,
+}
+
+/// A deterministic query stream.
+pub struct Workload {
+    rng: SmallRng,
+    mix: Vec<(QueryType, f64)>,
+    skew: Option<Skew>,
+    cities: usize,
+    neighborhoods: usize,
+    blocks: usize,
+    city_names: Vec<String>,
+}
+
+impl Workload {
+    fn base(db: &ParkingDb, mix: Vec<(QueryType, f64)>, seed: u64) -> Workload {
+        Workload {
+            rng: SmallRng::seed_from_u64(seed),
+            mix,
+            skew: None,
+            cities: db.params.cities,
+            neighborhoods: db.params.neighborhoods_per_city,
+            blocks: db.params.blocks_per_neighborhood,
+            city_names: (0..db.params.cities)
+                .map(|ci| db.city_name(ci).to_string())
+                .collect(),
+        }
+    }
+
+    /// A single-type workload (QW-1 ... QW-4).
+    pub fn uniform(db: &ParkingDb, qt: QueryType, seed: u64) -> Workload {
+        Workload::base(db, vec![(qt, 1.0)], seed)
+    }
+
+    /// QW-Mix: 40% T1, 40% T2, 15% T3, 5% T4.
+    pub fn qw_mix(db: &ParkingDb, seed: u64) -> Workload {
+        Workload::base(
+            db,
+            vec![
+                (QueryType::T1, 0.40),
+                (QueryType::T2, 0.40),
+                (QueryType::T3, 0.15),
+                (QueryType::T4, 0.05),
+            ],
+            seed,
+        )
+    }
+
+    /// QW-Mix2: 50% T1, 50% T2 (Fig. 8).
+    pub fn qw_mix2(db: &ParkingDb, seed: u64) -> Workload {
+        Workload::base(
+            db,
+            vec![(QueryType::T1, 0.5), (QueryType::T2, 0.5)],
+            seed,
+        )
+    }
+
+    /// Directs `fraction` of type 1/2 queries at one fixed neighborhood.
+    pub fn with_skew(mut self, city: usize, neighborhood: usize, fraction: f64) -> Workload {
+        self.skew = Some(Skew { city, neighborhood, fraction });
+        self
+    }
+
+    fn draw_type(&mut self) -> QueryType {
+        let x: f64 = self.rng.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        for &(qt, w) in &self.mix {
+            acc += w;
+            if x < acc {
+                return qt;
+            }
+        }
+        self.mix.last().map(|&(qt, _)| qt).unwrap_or(QueryType::T1)
+    }
+
+    fn draw_neighborhood(&mut self) -> (usize, usize) {
+        if let Some(s) = self.skew {
+            if self.rng.random_bool(s.fraction) {
+                return (s.city, s.neighborhood);
+            }
+        }
+        (
+            self.rng.random_range(0..self.cities),
+            self.rng.random_range(0..self.neighborhoods),
+        )
+    }
+
+    fn prefix(&self, ci: usize) -> String {
+        format!(
+            "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']/city[@id='{}']",
+            self.city_names[ci]
+        )
+    }
+
+    /// Produces the next query text.
+    pub fn next_query(&mut self) -> String {
+        let qt = self.draw_type();
+        self.next_query_of(qt)
+    }
+
+    /// Produces a query of a specific type (used by tests and latency
+    /// breakdowns).
+    pub fn next_query_of(&mut self, qt: QueryType) -> String {
+        match qt {
+            QueryType::T1 => {
+                let (ci, ni) = self.draw_neighborhood();
+                let b = self.rng.random_range(0..self.blocks) + 1;
+                format!(
+                    "{}/neighborhood[@id='n{}']/block[@id='{}']/parkingSpace[available='yes']",
+                    self.prefix(ci),
+                    ni + 1,
+                    b
+                )
+            }
+            QueryType::T2 => {
+                let (ci, ni) = self.draw_neighborhood();
+                let b1 = self.rng.random_range(0..self.blocks) + 1;
+                let mut b2 = self.rng.random_range(0..self.blocks) + 1;
+                if b2 == b1 {
+                    b2 = b1 % self.blocks + 1;
+                }
+                format!(
+                    "{}/neighborhood[@id='n{}']/block[@id='{}' or @id='{}']/parkingSpace[available='yes']",
+                    self.prefix(ci),
+                    ni + 1,
+                    b1,
+                    b2
+                )
+            }
+            QueryType::T3 => {
+                let ci = self.rng.random_range(0..self.cities);
+                let n1 = self.rng.random_range(0..self.neighborhoods) + 1;
+                let mut n2 = self.rng.random_range(0..self.neighborhoods) + 1;
+                if n2 == n1 {
+                    n2 = n1 % self.neighborhoods + 1;
+                }
+                let b = self.rng.random_range(0..self.blocks) + 1;
+                format!(
+                    "{}/neighborhood[@id='n{}' or @id='n{}']/block[@id='{}']/parkingSpace[available='yes']",
+                    self.prefix(ci),
+                    n1,
+                    n2,
+                    b
+                )
+            }
+            QueryType::T4 => {
+                let c1 = self.rng.random_range(0..self.cities);
+                let mut c2 = self.rng.random_range(0..self.cities);
+                if c2 == c1 {
+                    c2 = (c1 + 1) % self.cities;
+                }
+                let n = self.rng.random_range(0..self.neighborhoods) + 1;
+                let b = self.rng.random_range(0..self.blocks) + 1;
+                format!(
+                    "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
+                     /city[@id='{}' or @id='{}']/neighborhood[@id='n{}']/block[@id='{}']\
+                     /parkingSpace[available='yes']",
+                    self.city_names[c1], self.city_names[c2], n, b
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parkingdb::DbParams;
+    use irisnet_core::routing::route_query;
+
+    fn db() -> ParkingDb {
+        ParkingDb::generate(DbParams::small(), 1)
+    }
+
+    #[test]
+    fn type1_routes_to_block() {
+        let db = db();
+        let mut w = Workload::uniform(&db, QueryType::T1, 5);
+        for _ in 0..20 {
+            let q = w.next_query_of(QueryType::T1);
+            let (_, path, _) = route_query(&q, &db.service).unwrap();
+            assert_eq!(path.last().map(|(t, _)| t.to_string()), Some("block".into()));
+        }
+    }
+
+    #[test]
+    fn type2_routes_to_neighborhood() {
+        let db = db();
+        let mut w = Workload::uniform(&db, QueryType::T2, 5);
+        let q = w.next_query_of(QueryType::T2);
+        let (_, path, _) = route_query(&q, &db.service).unwrap();
+        assert_eq!(path.last().map(|(t, _)| t.to_string()), Some("neighborhood".into()));
+    }
+
+    #[test]
+    fn type3_routes_to_city_and_type4_to_county() {
+        let db = db();
+        let mut w = Workload::uniform(&db, QueryType::T3, 5);
+        let (_, p3, _) = route_query(&w.next_query_of(QueryType::T3), &db.service).unwrap();
+        assert_eq!(p3.last().map(|(t, _)| t.to_string()), Some("city".into()));
+        let (_, p4, _) = route_query(&w.next_query_of(QueryType::T4), &db.service).unwrap();
+        assert_eq!(p4.last().map(|(t, _)| t.to_string()), Some("county".into()));
+    }
+
+    #[test]
+    fn queries_parse_and_answer_on_master() {
+        // Every generated query must evaluate without error on the master.
+        let db = db();
+        let mut w = Workload::qw_mix(&db, 99);
+        for _ in 0..40 {
+            let q = w.next_query();
+            let e = sensorxpath::parse(&q).unwrap();
+            let v = sensorxpath::evaluate_at(
+                &e,
+                &db.master,
+                sensorxpath::XNode::Node(db.master.root().unwrap()),
+            )
+            .unwrap();
+            assert!(v.as_nodes().is_some());
+        }
+    }
+
+    #[test]
+    fn mix_distribution_roughly_matches() {
+        let db = db();
+        let mut w = Workload::qw_mix(&db, 123);
+        let mut counts = [0usize; 4];
+        for _ in 0..2000 {
+            match w.draw_type() {
+                QueryType::T1 => counts[0] += 1,
+                QueryType::T2 => counts[1] += 1,
+                QueryType::T3 => counts[2] += 1,
+                QueryType::T4 => counts[3] += 1,
+            }
+        }
+        assert!((counts[0] as f64 - 800.0).abs() < 120.0, "{counts:?}");
+        assert!((counts[1] as f64 - 800.0).abs() < 120.0, "{counts:?}");
+        assert!((counts[2] as f64 - 300.0).abs() < 90.0, "{counts:?}");
+        assert!((counts[3] as f64 - 100.0).abs() < 60.0, "{counts:?}");
+    }
+
+    #[test]
+    fn skew_concentrates_targets() {
+        let db = db();
+        let mut w = Workload::uniform(&db, QueryType::T1, 42).with_skew(0, 0, 0.9);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            let q = w.next_query_of(QueryType::T1);
+            if q.contains("city[@id='Pittsburgh']/neighborhood[@id='n1']") {
+                hits += 1;
+            }
+        }
+        // 90% skew plus ~1/6 of the uniform remainder.
+        assert!(hits > 850, "hits: {hits}");
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let db = db();
+        let mut a = Workload::qw_mix(&db, 7);
+        let mut b = Workload::qw_mix(&db, 7);
+        for _ in 0..50 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn t2_blocks_are_distinct() {
+        let db = db();
+        let mut w = Workload::uniform(&db, QueryType::T2, 11);
+        for _ in 0..100 {
+            let q = w.next_query_of(QueryType::T2);
+            let ids: Vec<&str> = q
+                .match_indices("block[@id='")
+                .map(|(i, _)| {
+                    let rest = &q[i + 11..];
+                    &rest[..rest.find('\'').unwrap()]
+                })
+                .collect();
+            // Query text has the two block ids inside one predicate.
+            let seg = q.split("block[").nth(1).unwrap();
+            let _ = ids;
+            let id1 = seg.split('\'').nth(1).unwrap();
+            let id2 = seg.split('\'').nth(3).unwrap();
+            assert_ne!(id1, id2, "query: {q}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Continuous queries (paper §7, future work).
+//!
+//! "Continuous queries are an important class of queries that are natural
+//! to a sensor database system. Our architecture naturally allows us to
+//! support continuous queries through the various data structures that we
+//! maintain."
+//!
+//! A continuous query registers at a site (normally the LCA owner of its
+//! result). After every sensor update that falls inside the query's
+//! id-pinned scope, the site re-evaluates the query against its fragment;
+//! when the answer *changes* (compared by canonical form, so sibling order
+//! is irrelevant), a fresh answer is pushed to the subscriber. This is the
+//! Parking Space Finder's "directions are automatically updated" loop
+//! from §1.
+
+use std::collections::HashMap;
+
+use sensorxml::Document;
+
+use crate::agent::{Endpoint, QueryId};
+use crate::error::{CoreError, CoreResult};
+use crate::fragment::SiteDatabase;
+use crate::idable::IdPath;
+use crate::qeg::{extract_user_answer, plan_query, QueryPlan};
+use crate::routing::lca_id_path;
+use crate::service::Service;
+
+/// One registered continuous query.
+#[derive(Debug)]
+pub struct ContinuousQuery {
+    pub qid: QueryId,
+    pub endpoint: Endpoint,
+    pub text: String,
+    plan: QueryPlan,
+    /// Scope: updates outside this prefix cannot change the answer.
+    scope: IdPath,
+    /// Canonical form of the last pushed answer.
+    last_answer: Option<String>,
+}
+
+/// The registry a site keeps for its continuous subscribers.
+#[derive(Debug, Default)]
+pub struct ContinuousRegistry {
+    queries: HashMap<QueryId, ContinuousQuery>,
+}
+
+/// A change notification to push to a subscriber.
+#[derive(Debug, Clone)]
+pub struct Notification {
+    pub qid: QueryId,
+    pub endpoint: Endpoint,
+    pub answer_xml: String,
+}
+
+impl ContinuousRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ContinuousRegistry {
+        ContinuousRegistry::default()
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Registers a continuous query. Returns the initial answer so the
+    /// subscriber starts with a consistent snapshot.
+    pub fn register(
+        &mut self,
+        qid: QueryId,
+        endpoint: Endpoint,
+        text: &str,
+        service: &Service,
+        db: &SiteDatabase,
+        now: f64,
+    ) -> CoreResult<Notification> {
+        let expr = sensorxpath::parse(text).map_err(CoreError::XPath)?;
+        let plan = plan_query(&expr, service)?;
+        let scope = lca_id_path(&expr);
+        let answer = extract_user_answer(&plan, db, now)?;
+        let (xml, canonical) = render(&answer);
+        self.queries.insert(
+            qid,
+            ContinuousQuery {
+                qid,
+                endpoint,
+                text: text.to_string(),
+                plan,
+                scope,
+                last_answer: Some(canonical),
+            },
+        );
+        Ok(Notification { qid, endpoint, answer_xml: xml })
+    }
+
+    /// Cancels a continuous query; returns true if it existed.
+    pub fn cancel(&mut self, qid: QueryId) -> bool {
+        self.queries.remove(&qid).is_some()
+    }
+
+    /// Called after an update at `updated` was applied to `db`: re-evaluates
+    /// every query whose scope covers the update and returns notifications
+    /// for those whose answer changed.
+    pub fn on_update(
+        &mut self,
+        updated: &IdPath,
+        db: &SiteDatabase,
+        now: f64,
+    ) -> Vec<Notification> {
+        let mut out = Vec::new();
+        for cq in self.queries.values_mut() {
+            if !cq.scope.is_prefix_of(updated) {
+                continue;
+            }
+            let Ok(answer) = extract_user_answer(&cq.plan, db, now) else {
+                continue;
+            };
+            let (xml, canonical) = render(&answer);
+            if cq.last_answer.as_deref() != Some(canonical.as_str()) {
+                cq.last_answer = Some(canonical);
+                out.push(Notification {
+                    qid: cq.qid,
+                    endpoint: cq.endpoint,
+                    answer_xml: xml,
+                });
+            }
+        }
+        out.sort_by_key(|n| n.qid);
+        out
+    }
+}
+
+fn render(answer: &Document) -> (String, String) {
+    match answer.root() {
+        Some(r) => (
+            sensorxml::serialize(answer, r),
+            sensorxml::canonical_string(answer, r),
+        ),
+        None => (String::new(), String::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Endpoint;
+    use crate::service::Service;
+    use sensorxml::parse;
+
+    fn setup() -> (SiteDatabase, IdPath) {
+        let master = parse(
+            r#"<usRegion id="NE"><state id="PA"><county id="A"><city id="P">
+                 <neighborhood id="Oakland">
+                   <block id="1">
+                     <parkingSpace id="1"><available>no</available></parkingSpace>
+                     <parkingSpace id="2"><available>no</available></parkingSpace>
+                   </block>
+                 </neighborhood>
+               </city></county></state></usRegion>"#,
+        )
+        .unwrap();
+        let mut db = SiteDatabase::new(Service::parking());
+        let root = IdPath::from_pairs([("usRegion", "NE")]);
+        db.bootstrap_owned(&master, &root, true).unwrap();
+        let block = root
+            .child("state", "PA")
+            .child("county", "A")
+            .child("city", "P")
+            .child("neighborhood", "Oakland")
+            .child("block", "1");
+        (db, block)
+    }
+
+    const CQ: &str = "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']\
+        /neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[available='yes']";
+
+    #[test]
+    fn register_returns_initial_snapshot() {
+        let (db, _) = setup();
+        let mut reg = ContinuousRegistry::new();
+        let svc = Service::parking();
+        let n = reg.register(1, Endpoint(5), CQ, &svc, &db, 0.0).unwrap();
+        assert_eq!(n.qid, 1);
+        // Nothing available yet.
+        assert_eq!(n.answer_xml, "<result/>");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn update_triggers_notification_only_on_change() {
+        let (mut db, block) = setup();
+        let mut reg = ContinuousRegistry::new();
+        let svc = Service::parking();
+        reg.register(1, Endpoint(5), CQ, &svc, &db, 0.0).unwrap();
+
+        // Space 1 becomes available: one notification.
+        let sp1 = block.child("parkingSpace", "1");
+        db.apply_update(&sp1, &[("available".into(), "yes".into())], 1.0).unwrap();
+        let n = reg.on_update(&sp1, &db, 1.0);
+        assert_eq!(n.len(), 1);
+        assert!(n[0].answer_xml.contains("parkingSpace"));
+
+        // The same value again: answer unchanged, no notification.
+        db.apply_update(&sp1, &[("available".into(), "yes".into())], 2.0).unwrap();
+        assert!(reg.on_update(&sp1, &db, 2.0).is_empty());
+
+        // It flips back: notification with an empty result.
+        db.apply_update(&sp1, &[("available".into(), "no".into())], 3.0).unwrap();
+        let n = reg.on_update(&sp1, &db, 3.0);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].answer_xml, "<result/>");
+    }
+
+    #[test]
+    fn updates_outside_scope_are_ignored() {
+        let (db, block) = setup();
+        let mut reg = ContinuousRegistry::new();
+        let svc = Service::parking();
+        // The continuous query is scoped to block 1 of Oakland.
+        reg.register(1, Endpoint(5), CQ, &svc, &db, 0.0).unwrap();
+        // An (imaginary) update elsewhere does not trigger re-evaluation.
+        let elsewhere = IdPath::from_pairs([
+            ("usRegion", "NE"),
+            ("state", "PA"),
+            ("county", "A"),
+            ("city", "P"),
+            ("neighborhood", "Shadyside"),
+            ("block", "9"),
+        ]);
+        let _ = block;
+        assert!(reg.on_update(&elsewhere, &db, 1.0).is_empty());
+    }
+
+    #[test]
+    fn cancel_stops_notifications() {
+        let (mut db, block) = setup();
+        let mut reg = ContinuousRegistry::new();
+        let svc = Service::parking();
+        reg.register(7, Endpoint(5), CQ, &svc, &db, 0.0).unwrap();
+        assert!(reg.cancel(7));
+        assert!(!reg.cancel(7));
+        let sp1 = block.child("parkingSpace", "1");
+        db.apply_update(&sp1, &[("available".into(), "yes".into())], 1.0).unwrap();
+        assert!(reg.on_update(&sp1, &db, 1.0).is_empty());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn multiple_subscribers_each_notified() {
+        let (mut db, block) = setup();
+        let mut reg = ContinuousRegistry::new();
+        let svc = Service::parking();
+        reg.register(1, Endpoint(10), CQ, &svc, &db, 0.0).unwrap();
+        reg.register(2, Endpoint(11), CQ, &svc, &db, 0.0).unwrap();
+        let sp2 = block.child("parkingSpace", "2");
+        db.apply_update(&sp2, &[("available".into(), "yes".into())], 1.0).unwrap();
+        let n = reg.on_update(&sp2, &db, 1.0);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].qid, 1);
+        assert_eq!(n[1].qid, 2);
+        assert_eq!(n[0].endpoint, Endpoint(10));
+    }
+}

@@ -1,0 +1,45 @@
+//! # irisnet-core
+//!
+//! The core of the Cache-and-Query system (SIGMOD 2003): distributed XPATH
+//! query processing over a single logical XML document fragmented across
+//! sites, with query-driven caching, partial-match reuse, query-based
+//! consistency and dynamic ownership migration.
+//!
+//! Layering (bottom-up):
+//!
+//! * [`service`] — service schemas (IDable hierarchy, DNS suffix);
+//! * [`idable`] — ID paths and local (ID) information (Defs. 3.1/3.2);
+//! * [`fragment`] — per-site databases, statuses, invariants I1/I2,
+//!   merging under C1/C2, eviction ([`fragment::SiteDatabase`]);
+//! * [`qeg`] — query-evaluate-gather: XPATH → XSLT compilation (naive and
+//!   fast), execution, subquery extraction (§3.5, §4);
+//! * [`routing`] — self-starting distributed queries via DNS names derived
+//!   from the query text (§3.4);
+//! * [`agent`] — the organizing agent state machine (queries, subqueries,
+//!   updates, caching policy, consistency) and sensing agents;
+//! * [`migration`] — atomic ownership transfer and load balancing (§4).
+
+pub mod agent;
+pub mod continuous;
+pub mod error;
+pub mod eviction;
+pub mod fragment;
+pub mod idable;
+pub mod migration;
+pub mod qeg;
+pub mod routing;
+pub mod schema_change;
+pub mod service;
+
+pub use agent::{
+    CacheMode, Endpoint, Message, OaConfig, OaStats, OrganizingAgent, Outbound, QueryId,
+    SensingAgent,
+};
+pub use continuous::{ContinuousRegistry, Notification};
+pub use error::{CoreError, CoreResult};
+pub use eviction::{CacheManager, EvictionPolicy};
+pub use fragment::{FragmentStats, SiteDatabase, Status};
+pub use idable::IdPath;
+pub use qeg::{QegFactory, QegOutcome, XsltCreation};
+pub use routing::lca_dns_name;
+pub use service::{Schema, Service};

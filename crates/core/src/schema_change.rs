@@ -1,0 +1,282 @@
+//! Schema changes (§4 "Schema changes").
+//!
+//! Changes that do not affect the IDable hierarchy are purely local to the
+//! organizing agent owning the fragment: adding/removing attributes and
+//! adding/removing non-IDable nodes. Changes that add or delete IDable
+//! nodes are performed by the owner of the *parent* node (whose local
+//! information records the child IDs). Cached copies elsewhere become
+//! transiently inconsistent and converge through normal refreshes, exactly
+//! as the paper accepts.
+
+use sensorxml::NodeId;
+
+use crate::error::{CoreError, CoreResult};
+use crate::fragment::{format_ts, SiteDatabase, Status};
+use crate::idable::{IdPath, STATUS_ATTR};
+
+impl SiteDatabase {
+    fn owned_node(&self, path: &IdPath) -> CoreResult<NodeId> {
+        let n = path
+            .resolve(self.doc())
+            .ok_or_else(|| CoreError::Protocol(format!("no node at {path}")))?;
+        if self.status_of(n) != Some(Status::Owned) {
+            return Err(CoreError::Protocol(format!(
+                "schema changes require ownership of {path}"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Adds (or replaces) a plain attribute on an owned node — e.g. giving
+    /// neighborhoods a `numberOfFreeSpots` attribute on the fly (§2).
+    pub fn schema_add_attribute(
+        &mut self,
+        path: &IdPath,
+        name: &str,
+        value: &str,
+        now: f64,
+    ) -> CoreResult<()> {
+        if name == "id" || name == STATUS_ATTR || name == self.service().timestamp_field {
+            return Err(CoreError::Protocol(format!(
+                "attribute `{name}` is reserved"
+            )));
+        }
+        let n = self.owned_node(path)?;
+        let ts_field = self.service().timestamp_field.clone();
+        self.doc_mut().set_attr(n, name.to_string(), value.to_string());
+        self.doc_mut().set_attr(n, ts_field, format_ts(now));
+        Ok(())
+    }
+
+    /// Removes a plain attribute from an owned node.
+    pub fn schema_remove_attribute(&mut self, path: &IdPath, name: &str) -> CoreResult<()> {
+        if name == "id" || name == STATUS_ATTR {
+            return Err(CoreError::Protocol(format!(
+                "attribute `{name}` is reserved"
+            )));
+        }
+        let n = self.owned_node(path)?;
+        self.doc_mut().remove_attr(n, name);
+        Ok(())
+    }
+
+    /// Adds a non-IDable child element (with optional text) to an owned
+    /// node — e.g. an on-the-fly `available-spaces` aggregate field (§1).
+    pub fn schema_add_field(
+        &mut self,
+        path: &IdPath,
+        tag: &str,
+        text: Option<&str>,
+        now: f64,
+    ) -> CoreResult<()> {
+        if self.service().schema.is_idable(tag) {
+            return Err(CoreError::Protocol(format!(
+                "`{tag}` is IDable; use schema_add_idable_child"
+            )));
+        }
+        let n = self.owned_node(path)?;
+        let ts_field = self.service().timestamp_field.clone();
+        let doc = self.doc_mut();
+        let c = doc.create_element(tag.to_string());
+        doc.append_child(n, c);
+        if let Some(t) = text {
+            doc.set_text_content(c, t.to_string());
+        }
+        doc.set_attr(n, ts_field, format_ts(now));
+        Ok(())
+    }
+
+    /// Removes every non-IDable child named `tag` from an owned node.
+    pub fn schema_remove_field(&mut self, path: &IdPath, tag: &str) -> CoreResult<usize> {
+        if self.service().schema.is_idable(tag) {
+            return Err(CoreError::Protocol(format!(
+                "`{tag}` is IDable; use schema_remove_idable_child"
+            )));
+        }
+        let n = self.owned_node(path)?;
+        let doc = self.doc_mut();
+        let victims: Vec<NodeId> = doc
+            .child_elements(n)
+            .filter(|&c| doc.name(c) == tag)
+            .collect();
+        let count = victims.len();
+        for v in victims {
+            doc.detach(v);
+        }
+        Ok(count)
+    }
+
+    /// Adds a new IDable child under an owned node (a new parking space
+    /// appears on a block). The parent's owner performs this, keeping its
+    /// local information — the authoritative child-ID list — correct. The
+    /// new node is owned here with empty local information.
+    pub fn schema_add_idable_child(
+        &mut self,
+        parent: &IdPath,
+        tag: &str,
+        id: &str,
+        now: f64,
+    ) -> CoreResult<IdPath> {
+        if !self.service().schema.is_idable(tag) {
+            return Err(CoreError::Protocol(format!("`{tag}` is not an IDable tag")));
+        }
+        let (ptag, _) = parent
+            .last()
+            .ok_or_else(|| CoreError::Protocol("cannot add below the document node".into()))?;
+        if !self
+            .service()
+            .schema
+            .idable_children(ptag)
+            .iter()
+            .any(|t| t == tag)
+        {
+            return Err(CoreError::Protocol(format!(
+                "`{tag}` is not a child tag of `{ptag}` in this service"
+            )));
+        }
+        let n = self.owned_node(parent)?;
+        let ts_field = self.service().timestamp_field.clone();
+        let doc = self.doc_mut();
+        if doc.child_by_name_id(n, tag, id).is_some() {
+            return Err(CoreError::Protocol(format!(
+                "{parent} already has a {tag} with id `{id}`"
+            )));
+        }
+        let c = doc.create_element(tag.to_string());
+        doc.set_attr(c, "id", id.to_string());
+        doc.set_attr(c, STATUS_ATTR, Status::Owned.as_str());
+        doc.set_attr(c, ts_field.clone(), format_ts(now));
+        doc.append_child(n, c);
+        // The parent's local information (its child-ID list) changed too.
+        doc.set_attr(n, ts_field, format_ts(now));
+        Ok(parent.child(tag.to_string(), id.to_string()))
+    }
+
+    /// Deletes an IDable child (and its whole subtree) under an owned node.
+    /// Stamps the parent's timestamp: its local information (the child-ID
+    /// list) changed, which is how the deletion propagates to caches.
+    pub fn schema_remove_idable_child(
+        &mut self,
+        parent: &IdPath,
+        tag: &str,
+        id: &str,
+        now: f64,
+    ) -> CoreResult<()> {
+        let n = self.owned_node(parent)?;
+        let ts_field = self.service().timestamp_field.clone();
+        let doc = self.doc_mut();
+        let victim = doc.child_by_name_id(n, tag, id).ok_or_else(|| {
+            CoreError::Protocol(format!("{parent} has no {tag} with id `{id}`"))
+        })?;
+        doc.detach(victim);
+        doc.set_attr(n, ts_field, format_ts(now));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Service;
+    use sensorxml::parse;
+
+    fn setup() -> (SiteDatabase, IdPath, sensorxml::Document) {
+        let master = parse(
+            r#"<usRegion id="NE"><state id="PA"><county id="A"><city id="P">
+                 <neighborhood id="n1">
+                   <block id="1">
+                     <parkingSpace id="1"><available>no</available></parkingSpace>
+                   </block>
+                 </neighborhood>
+               </city></county></state></usRegion>"#,
+        )
+        .unwrap();
+        let mut db = SiteDatabase::new(Service::parking());
+        let root = IdPath::from_pairs([("usRegion", "NE")]);
+        db.bootstrap_owned(&master, &root, true).unwrap();
+        let nbhd = root
+            .child("state", "PA")
+            .child("county", "A")
+            .child("city", "P")
+            .child("neighborhood", "n1");
+        (db, nbhd, master)
+    }
+
+    #[test]
+    fn add_and_remove_attribute() {
+        let (mut db, nbhd, _m) = setup();
+        db.schema_add_attribute(&nbhd, "numberOfFreeSpots", "8", 5.0).unwrap();
+        let n = nbhd.resolve(db.doc()).unwrap();
+        assert_eq!(db.doc().attr(n, "numberOfFreeSpots"), Some("8"));
+        assert_eq!(db.timestamp_at(&nbhd), 5.0);
+        // Queries see it immediately.
+        let e = sensorxpath::parse("//neighborhood[@numberOfFreeSpots > 5]").unwrap();
+        let v = sensorxpath::evaluate_at(&e, db.doc(), sensorxpath::XNode::Document).unwrap();
+        assert_eq!(v.as_nodes().unwrap().len(), 1);
+        db.schema_remove_attribute(&nbhd, "numberOfFreeSpots").unwrap();
+        let n = nbhd.resolve(db.doc()).unwrap();
+        assert_eq!(db.doc().attr(n, "numberOfFreeSpots"), None);
+    }
+
+    #[test]
+    fn reserved_attributes_rejected() {
+        let (mut db, nbhd, _m) = setup();
+        assert!(db.schema_add_attribute(&nbhd, "id", "X", 0.0).is_err());
+        assert!(db.schema_add_attribute(&nbhd, "status", "owned", 0.0).is_err());
+        assert!(db.schema_add_attribute(&nbhd, "timestamp", "1", 0.0).is_err());
+        assert!(db.schema_remove_attribute(&nbhd, "id").is_err());
+    }
+
+    #[test]
+    fn add_and_remove_non_idable_field() {
+        let (mut db, nbhd, m) = setup();
+        db.schema_add_field(&nbhd, "available-spaces", Some("8"), 1.0).unwrap();
+        let n = nbhd.resolve(db.doc()).unwrap();
+        let f = db.doc().child_by_name(n, "available-spaces").unwrap();
+        assert_eq!(db.doc().text_content(f), "8");
+        // Invariants hold (non-IDable content is not checked against the
+        // master's ID skeleton).
+        db.check_invariants(&m).unwrap();
+        assert_eq!(db.schema_remove_field(&nbhd, "available-spaces").unwrap(), 1);
+        assert!(db.doc().child_by_name(nbhd.resolve(db.doc()).unwrap(), "available-spaces").is_none());
+        // IDable tags are rejected by the field APIs.
+        assert!(db.schema_add_field(&nbhd, "block", None, 0.0).is_err());
+        assert!(db.schema_remove_field(&nbhd, "block").is_err());
+    }
+
+    #[test]
+    fn add_and_remove_idable_child() {
+        let (mut db, nbhd, _m) = setup();
+        let block = nbhd.child("block", "1");
+        let p = db.schema_add_idable_child(&block, "parkingSpace", "2", 2.0).unwrap();
+        assert_eq!(db.status_at(&p), Some(Status::Owned));
+        // The new space is addressable and updatable.
+        db.apply_update(&p, &[("available".into(), "yes".into())], 3.0).unwrap();
+        let e = sensorxpath::parse("count(//parkingSpace)").unwrap();
+        let v = sensorxpath::evaluate_at(&e, db.doc(), sensorxpath::XNode::Document).unwrap();
+        assert_eq!(v, sensorxpath::Value::Num(2.0));
+        // Duplicate ids are rejected.
+        assert!(db.schema_add_idable_child(&block, "parkingSpace", "2", 2.0).is_err());
+        // Wrong level rejected (a parkingSpace under a neighborhood).
+        assert!(db.schema_add_idable_child(&nbhd, "parkingSpace", "9", 2.0).is_err());
+        // Removal drops the subtree and stamps the parent.
+        db.schema_remove_idable_child(&block, "parkingSpace", "2", 4.0).unwrap();
+        let v = sensorxpath::evaluate_at(&e, db.doc(), sensorxpath::XNode::Document).unwrap();
+        assert_eq!(v, sensorxpath::Value::Num(1.0));
+        assert_eq!(db.timestamp_at(&block), 4.0);
+        assert!(db.schema_remove_idable_child(&block, "parkingSpace", "2", 5.0).is_err());
+    }
+
+    #[test]
+    fn schema_changes_require_ownership() {
+        let (db, nbhd, _m) = setup();
+        let mut cache = SiteDatabase::new(Service::parking());
+        let frag = db.export_subtrees(std::slice::from_ref(&nbhd)).unwrap();
+        cache.merge_fragment(&frag).unwrap();
+        assert!(cache.schema_add_attribute(&nbhd, "x", "1", 0.0).is_err());
+        assert!(cache.schema_add_field(&nbhd, "notes", None, 0.0).is_err());
+        assert!(cache
+            .schema_add_idable_child(&nbhd.child("block", "1"), "parkingSpace", "7", 0.0)
+            .is_err());
+    }
+}

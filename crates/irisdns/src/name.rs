@@ -1,0 +1,125 @@
+//! DNS-style names built from document id paths.
+
+use std::fmt;
+
+/// A DNS-style name: lowercase labels, least-significant (deepest) first,
+/// e.g. `pittsburgh.allegheny.pa.ne.parking.intel-iris.net`.
+///
+/// Built from a root-to-node id path plus a service suffix; per the paper,
+/// the name is derived *from the query text alone* — no schema or global
+/// state involved.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DnsName {
+    labels: Vec<String>,
+}
+
+impl DnsName {
+    /// Builds a name from a root-to-node id path (`["NE", "PA", "Allegheny",
+    /// "Pittsburgh"]`) and a dot-separated service suffix
+    /// (`"parking.intel-iris.net"`). Ids are lowercased and internal spaces
+    /// become hyphens (`New York` → `new-york`).
+    pub fn from_id_path<S: AsRef<str>>(ids: &[S], service_suffix: &str) -> DnsName {
+        let mut labels: Vec<String> =
+            ids.iter().rev().map(|s| Self::mangle(s.as_ref())).collect();
+        labels.extend(service_suffix.split('.').map(|l| l.to_ascii_lowercase()));
+        DnsName { labels }
+    }
+
+    /// Parses a dotted name.
+    pub fn parse(name: &str) -> DnsName {
+        DnsName {
+            labels: name.split('.').map(|l| l.to_ascii_lowercase()).collect(),
+        }
+    }
+
+    fn mangle(id: &str) -> String {
+        id.trim()
+            .chars()
+            .map(|c| {
+                if c.is_whitespace() {
+                    '-'
+                } else {
+                    c.to_ascii_lowercase()
+                }
+            })
+            .collect()
+    }
+
+    /// The labels, deepest first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn depth(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The name with the first (deepest) label removed; `None` at the apex.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.len() <= 1 {
+            None
+        } else {
+            Some(DnsName { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// True if `self` equals `other` or is a descendant of it
+    /// (`a.b.c` is within `b.c`).
+    pub fn is_within(&self, other: &DnsName) -> bool {
+        self.labels.len() >= other.labels.len()
+            && self.labels[self.labels.len() - other.labels.len()..] == other.labels[..]
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.labels.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_name() {
+        let n = DnsName::from_id_path(
+            &["NE", "PA", "Allegheny", "Pittsburgh"],
+            "parking.intel-iris.net",
+        );
+        assert_eq!(n.to_string(), "pittsburgh.allegheny.pa.ne.parking.intel-iris.net");
+    }
+
+    #[test]
+    fn spaces_become_hyphens() {
+        let n = DnsName::from_id_path(&["NE", "NY", "New York"], "parking.intel-iris.net");
+        assert_eq!(n.to_string(), "new-york.ny.ne.parking.intel-iris.net");
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let n = DnsName::parse("A.b.C");
+        assert_eq!(n.to_string(), "a.b.c");
+        assert_eq!(n.depth(), 3);
+    }
+
+    #[test]
+    fn parent_chain() {
+        let n = DnsName::parse("a.b.c");
+        let p = n.parent().unwrap();
+        assert_eq!(p.to_string(), "b.c");
+        assert_eq!(p.parent().unwrap().to_string(), "c");
+        assert!(p.parent().unwrap().parent().is_none());
+    }
+
+    #[test]
+    fn is_within_prefix_semantics() {
+        let deep = DnsName::parse("block1.oakland.pittsburgh.net");
+        let mid = DnsName::parse("pittsburgh.net");
+        assert!(deep.is_within(&mid));
+        assert!(deep.is_within(&deep));
+        assert!(!mid.is_within(&deep));
+        assert!(!DnsName::parse("oakland.etna.net").is_within(&DnsName::parse("oakland.net")));
+    }
+}

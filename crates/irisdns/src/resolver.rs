@@ -1,0 +1,223 @@
+//! Per-client caching resolver with TTLs.
+
+use std::collections::HashMap;
+
+use crate::name::DnsName;
+use crate::server::{AuthoritativeDns, SiteAddr};
+
+/// Outcome of a resolution, with enough accounting for the simulator to
+/// charge realistic costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolveOutcome {
+    pub addr: SiteAddr,
+    /// True if answered from the local cache (no network traffic).
+    pub cache_hit: bool,
+    /// Delegation hops charged for a cold lookup (0 on a hit).
+    pub hops: u32,
+    /// True if the record came from an exact name match.
+    pub exact: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CacheEntry {
+    Positive { addr: SiteAddr, expires_at: f64, exact: bool },
+    /// NXDOMAIN caching: remembering that a name did not resolve avoids
+    /// hammering the authoritative store with hopeless lookups.
+    Negative { expires_at: f64 },
+}
+
+/// A caching stub resolver, one per client/site ("this entry is cached in a
+/// DNS server near to the query", §3.4). Entries live for `ttl` seconds;
+/// after an ownership migration a cached entry may be stale — the query
+/// layer tolerates that because the previous owner forwards (§4).
+#[derive(Debug)]
+pub struct CachingResolver {
+    ttl: f64,
+    cache: HashMap<DnsName, CacheEntry>,
+    /// Counters: (lookups, cache hits, authoritative queries).
+    lookups: u64,
+    hits: u64,
+    authoritative_queries: u64,
+}
+
+impl CachingResolver {
+    /// Creates a resolver whose entries live `ttl_seconds`.
+    pub fn new(ttl_seconds: f64) -> Self {
+        CachingResolver {
+            ttl: ttl_seconds,
+            cache: HashMap::new(),
+            lookups: 0,
+            hits: 0,
+            authoritative_queries: 0,
+        }
+    }
+
+    /// Resolves `name` at time `now` against `auth`, consulting the cache
+    /// first. Returns `None` if the authoritative store has no record for
+    /// the name or any ancestor.
+    pub fn resolve(
+        &mut self,
+        name: &DnsName,
+        auth: &AuthoritativeDns,
+        now: f64,
+    ) -> Option<ResolveOutcome> {
+        self.lookups += 1;
+        match self.cache.get(name) {
+            Some(CacheEntry::Positive { addr, expires_at, exact }) if *expires_at > now => {
+                self.hits += 1;
+                return Some(ResolveOutcome {
+                    addr: *addr,
+                    cache_hit: true,
+                    hops: 0,
+                    exact: *exact,
+                });
+            }
+            Some(CacheEntry::Negative { expires_at }) if *expires_at > now => {
+                self.hits += 1;
+                return None;
+            }
+            _ => {}
+        }
+        self.authoritative_queries += 1;
+        match auth.lookup(name) {
+            Some(ans) => {
+                self.cache.insert(
+                    name.clone(),
+                    CacheEntry::Positive {
+                        addr: ans.addr,
+                        expires_at: now + self.ttl,
+                        exact: ans.exact,
+                    },
+                );
+                Some(ResolveOutcome {
+                    addr: ans.addr,
+                    cache_hit: false,
+                    hops: ans.hops,
+                    exact: ans.exact,
+                })
+            }
+            None => {
+                self.cache
+                    .insert(name.clone(), CacheEntry::Negative { expires_at: now + self.ttl });
+                None
+            }
+        }
+    }
+
+    /// Drops the cached entry for `name` (e.g. after being told an address
+    /// was stale).
+    pub fn invalidate(&mut self, name: &DnsName) {
+        self.cache.remove(name);
+    }
+
+    /// Drops every expired entry.
+    pub fn purge_expired(&mut self, now: f64) {
+        self.cache.retain(|_, e| match e {
+            CacheEntry::Positive { expires_at, .. } | CacheEntry::Negative { expires_at } => {
+                *expires_at > now
+            }
+        });
+    }
+
+    /// `(lookups, cache_hits, authoritative_queries)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.lookups, self.hits, self.authoritative_queries)
+    }
+
+    /// Number of live cache entries.
+    pub fn cached_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AuthoritativeDns, CachingResolver) {
+        let mut auth = AuthoritativeDns::new();
+        auth.register(&DnsName::parse("oakland.pgh.net"), SiteAddr(5));
+        (auth, CachingResolver::new(30.0))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (auth, mut r) = setup();
+        let name = DnsName::parse("oakland.pgh.net");
+        let first = r.resolve(&name, &auth, 0.0).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.hops, 3);
+        let second = r.resolve(&name, &auth, 1.0).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.hops, 0);
+        assert_eq!(r.stats(), (2, 1, 1));
+    }
+
+    #[test]
+    fn ttl_expiry_forces_refetch() {
+        let (auth, mut r) = setup();
+        let name = DnsName::parse("oakland.pgh.net");
+        r.resolve(&name, &auth, 0.0).unwrap();
+        let later = r.resolve(&name, &auth, 31.0).unwrap();
+        assert!(!later.cache_hit);
+        assert_eq!(r.stats(), (2, 0, 2));
+    }
+
+    #[test]
+    fn stale_cache_after_migration() {
+        let (mut auth, mut r) = setup();
+        let name = DnsName::parse("oakland.pgh.net");
+        assert_eq!(r.resolve(&name, &auth, 0.0).unwrap().addr, SiteAddr(5));
+        // Ownership migrates; the cached entry keeps answering the old
+        // address until TTL or invalidation.
+        auth.register(&name, SiteAddr(9));
+        assert_eq!(r.resolve(&name, &auth, 5.0).unwrap().addr, SiteAddr(5));
+        r.invalidate(&name);
+        assert_eq!(r.resolve(&name, &auth, 6.0).unwrap().addr, SiteAddr(9));
+    }
+
+    #[test]
+    fn missing_name_resolves_to_ancestor_or_none() {
+        let (auth, mut r) = setup();
+        let deep = DnsName::parse("block1.oakland.pgh.net");
+        let out = r.resolve(&deep, &auth, 0.0).unwrap();
+        assert_eq!(out.addr, SiteAddr(5));
+        assert!(!out.exact);
+        assert!(r.resolve(&DnsName::parse("nowhere.org"), &auth, 0.0).is_none());
+    }
+
+    #[test]
+    fn negative_answers_are_cached() {
+        let (auth, mut r) = setup();
+        let missing = DnsName::parse("nowhere.org");
+        assert!(r.resolve(&missing, &auth, 0.0).is_none());
+        assert!(r.resolve(&missing, &auth, 1.0).is_none());
+        // Only one authoritative query despite two lookups.
+        assert_eq!(r.stats(), (2, 1, 1));
+        // After TTL the negative entry expires and is retried.
+        assert!(r.resolve(&missing, &auth, 31.0).is_none());
+        assert_eq!(r.stats().2, 2);
+    }
+
+    #[test]
+    fn registration_after_negative_cache_needs_expiry_or_invalidation() {
+        let (mut auth, mut r) = setup();
+        let name = DnsName::parse("newcomer.org");
+        assert!(r.resolve(&name, &auth, 0.0).is_none());
+        auth.register(&name, SiteAddr(9));
+        // Still negative-cached...
+        assert!(r.resolve(&name, &auth, 1.0).is_none());
+        // ...until invalidated.
+        r.invalidate(&name);
+        assert_eq!(r.resolve(&name, &auth, 2.0).unwrap().addr, SiteAddr(9));
+    }
+
+    #[test]
+    fn purge_expired_shrinks_cache() {
+        let (auth, mut r) = setup();
+        r.resolve(&DnsName::parse("oakland.pgh.net"), &auth, 0.0).unwrap();
+        assert_eq!(r.cached_len(), 1);
+        r.purge_expired(100.0);
+        assert_eq!(r.cached_len(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The authoritative name store: a label trie with per-name records.
+
+use std::collections::HashMap;
+
+use crate::name::DnsName;
+
+/// Address of a physical site (the simulated analogue of an IP address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteAddr(pub u32);
+
+#[derive(Debug, Default)]
+struct ZoneNode {
+    record: Option<SiteAddr>,
+    children: HashMap<String, ZoneNode>,
+}
+
+/// The authoritative DNS: a trie over labels (apex at the trie root).
+///
+/// Ownership migration updates the record in place (§4 step 4); lookup
+/// reports the number of *delegation hops* walked (labels descended past
+/// the apex), which the simulator charges as network round trips on a cold
+/// lookup.
+#[derive(Debug, Default)]
+pub struct AuthoritativeDns {
+    root: ZoneNode,
+    records: usize,
+}
+
+/// A successful authoritative lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthAnswer {
+    pub addr: SiteAddr,
+    /// Delegation hops walked to find the record.
+    pub hops: u32,
+    /// True if this was an exact match rather than the longest registered
+    /// ancestor.
+    pub exact: bool,
+}
+
+impl AuthoritativeDns {
+    /// Creates an empty name store.
+    pub fn new() -> Self {
+        AuthoritativeDns::default()
+    }
+
+    /// Registers (or updates) `name → addr`. Returns the previous address
+    /// if the record existed.
+    pub fn register(&mut self, name: &DnsName, addr: SiteAddr) -> Option<SiteAddr> {
+        let mut node = &mut self.root;
+        for label in name.labels().iter().rev() {
+            node = node.children.entry(label.clone()).or_default();
+        }
+        let old = node.record.replace(addr);
+        if old.is_none() {
+            self.records += 1;
+        }
+        old
+    }
+
+    /// Removes a record; returns its address if present.
+    pub fn remove(&mut self, name: &DnsName) -> Option<SiteAddr> {
+        fn walk(node: &mut ZoneNode, labels: &[String]) -> Option<SiteAddr> {
+            match labels.split_last() {
+                None => node.record.take(),
+                Some((last, rest)) => {
+                    let child = node.children.get_mut(last)?;
+                    walk(child, rest)
+                }
+            }
+        }
+        let removed = walk(&mut self.root, name.labels());
+        if removed.is_some() {
+            self.records -= 1;
+        }
+        removed
+    }
+
+    /// Exact-or-longest-ancestor lookup (the paper notes DNS's longest
+    /// prefix match as the reason it suits the hierarchical data). Returns
+    /// `None` only if no ancestor of the name is registered either.
+    pub fn lookup(&self, name: &DnsName) -> Option<AuthAnswer> {
+        let mut node = &self.root;
+        let mut best: Option<(SiteAddr, u32)> = None;
+        let mut depth = 0u32;
+        if let Some(r) = node.record {
+            best = Some((r, depth));
+        }
+        let labels = name.labels();
+        let mut matched = 0usize;
+        for label in labels.iter().rev() {
+            match node.children.get(label) {
+                Some(child) => {
+                    node = child;
+                    depth += 1;
+                    matched += 1;
+                    if let Some(r) = node.record {
+                        best = Some((r, depth));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(addr, hops)| AuthAnswer {
+            addr,
+            hops,
+            exact: matched == labels.len() && node.record.map(|r| r == addr).unwrap_or(false)
+                && hops as usize == labels.len(),
+        })
+    }
+
+    /// Removes the record for `name` and every record strictly below it —
+    /// used when an IDable subtree is deleted from the service (§4 schema
+    /// changes). Returns the number of records removed.
+    pub fn remove_subtree(&mut self, name: &DnsName) -> usize {
+        fn count_records(node: &ZoneNode) -> usize {
+            usize::from(node.record.is_some())
+                + node.children.values().map(count_records).sum::<usize>()
+        }
+        fn walk(node: &mut ZoneNode, labels: &[String]) -> usize {
+            match labels.split_last() {
+                None => {
+                    let removed = count_records(node);
+                    node.record = None;
+                    node.children.clear();
+                    removed
+                }
+                Some((last, rest)) => match node.children.get_mut(last) {
+                    Some(child) => walk(child, rest),
+                    None => 0,
+                },
+            }
+        }
+        let removed = walk(&mut self.root, name.labels());
+        self.records -= removed;
+        removed
+    }
+
+    /// Iterates over all `(name, addr)` records (arbitrary order).
+    pub fn records(&self) -> Vec<(DnsName, SiteAddr)> {
+        fn walk(node: &ZoneNode, path: &mut Vec<String>, out: &mut Vec<(DnsName, SiteAddr)>) {
+            if let Some(addr) = node.record {
+                let mut labels = path.clone();
+                labels.reverse();
+                out.push((DnsName::parse(&labels.join(".")), addr));
+            }
+            for (label, child) in &node.children {
+                path.push(label.clone());
+                walk(child, path, out);
+                path.pop();
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Number of registered records.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// True if no records are registered.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DnsName {
+        DnsName::parse(s)
+    }
+
+    #[test]
+    fn register_lookup_exact() {
+        let mut dns = AuthoritativeDns::new();
+        dns.register(&n("pittsburgh.allegheny.pa.ne.net"), SiteAddr(7));
+        let a = dns.lookup(&n("pittsburgh.allegheny.pa.ne.net")).unwrap();
+        assert_eq!(a.addr, SiteAddr(7));
+        assert_eq!(a.hops, 5);
+        assert!(a.exact);
+    }
+
+    #[test]
+    fn update_replaces_record() {
+        let mut dns = AuthoritativeDns::new();
+        assert_eq!(dns.register(&n("a.net"), SiteAddr(1)), None);
+        assert_eq!(dns.register(&n("a.net"), SiteAddr(2)), Some(SiteAddr(1)));
+        assert_eq!(dns.lookup(&n("a.net")).unwrap().addr, SiteAddr(2));
+        assert_eq!(dns.len(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_fallback() {
+        let mut dns = AuthoritativeDns::new();
+        dns.register(&n("pittsburgh.pa.net"), SiteAddr(3));
+        dns.register(&n("pa.net"), SiteAddr(1));
+        // Unregistered deeper name falls back to the deepest ancestor.
+        let a = dns.lookup(&n("block1.oakland.pittsburgh.pa.net")).unwrap();
+        assert_eq!(a.addr, SiteAddr(3));
+        assert!(!a.exact);
+        // Sibling city falls back to the state record.
+        let b = dns.lookup(&n("etna.pa.net")).unwrap();
+        assert_eq!(b.addr, SiteAddr(1));
+        assert!(!b.exact);
+        // Unrelated apex misses entirely.
+        assert!(dns.lookup(&n("x.org")).is_none());
+    }
+
+    #[test]
+    fn remove_records() {
+        let mut dns = AuthoritativeDns::new();
+        dns.register(&n("a.b.net"), SiteAddr(1));
+        dns.register(&n("b.net"), SiteAddr(2));
+        assert_eq!(dns.remove(&n("a.b.net")), Some(SiteAddr(1)));
+        assert_eq!(dns.remove(&n("a.b.net")), None);
+        assert_eq!(dns.len(), 1);
+        // Ancestor still resolves.
+        assert_eq!(dns.lookup(&n("a.b.net")).unwrap().addr, SiteAddr(2));
+    }
+
+    #[test]
+    fn remove_subtree_prunes_descendants() {
+        let mut dns = AuthoritativeDns::new();
+        dns.register(&n("pgh.pa.net"), SiteAddr(1));
+        dns.register(&n("oakland.pgh.pa.net"), SiteAddr(2));
+        dns.register(&n("b1.oakland.pgh.pa.net"), SiteAddr(3));
+        dns.register(&n("phila.pa.net"), SiteAddr(4));
+        assert_eq!(dns.remove_subtree(&n("pgh.pa.net")), 3);
+        assert_eq!(dns.len(), 1);
+        // Descendants are gone; longest-prefix now misses pgh entirely.
+        assert!(dns.lookup(&n("b1.oakland.pgh.pa.net")).is_none());
+        assert_eq!(dns.lookup(&n("phila.pa.net")).unwrap().addr, SiteAddr(4));
+        // Removing a missing subtree is a no-op.
+        assert_eq!(dns.remove_subtree(&n("nowhere.org")), 0);
+    }
+
+    #[test]
+    fn records_enumerates_everything() {
+        let mut dns = AuthoritativeDns::new();
+        dns.register(&n("a.net"), SiteAddr(1));
+        dns.register(&n("b.a.net"), SiteAddr(2));
+        let mut recs = dns.records();
+        recs.sort_by_key(|(name, _)| name.to_string());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0.to_string(), "a.net");
+        assert_eq!(recs[1].0.to_string(), "b.a.net");
+    }
+
+    #[test]
+    fn hops_count_depth() {
+        let mut dns = AuthoritativeDns::new();
+        dns.register(&n("net"), SiteAddr(0));
+        dns.register(&n("deep.very.pa.net"), SiteAddr(9));
+        assert_eq!(dns.lookup(&n("net")).unwrap().hops, 1);
+        assert_eq!(dns.lookup(&n("deep.very.pa.net")).unwrap().hops, 4);
+    }
+}

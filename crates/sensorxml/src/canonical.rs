@@ -1,0 +1,117 @@
+//! Canonical forms and equality for *unordered* documents.
+//!
+//! The paper treats sibling order as meaningless (Section 3.1: "we take the
+//! common approach of viewing an XML document as unordered"). Two site
+//! databases that hold the same fragments merged in different orders must
+//! therefore compare equal. [`canonical_string`] produces a serialization
+//! that is invariant under sibling reordering and attribute reordering, and
+//! [`unordered_eq`] compares two subtrees under those semantics.
+
+use crate::node::{Document, NodeId, NodeKind};
+use crate::serialize::{push_escaped_attr, push_escaped_text};
+
+/// Produces a canonical serialization of the subtree rooted at `id`:
+/// attributes sorted by name, sibling subtrees sorted by their own canonical
+/// strings. Invariant under any sibling/attribute permutation.
+pub fn canonical_string(doc: &Document, id: NodeId) -> String {
+    match doc.kind(id) {
+        NodeKind::Text(t) => {
+            let mut out = String::with_capacity(t.len());
+            push_escaped_text(&mut out, t);
+            out
+        }
+        NodeKind::Element(el) => {
+            let mut out = String::new();
+            out.push('<');
+            out.push_str(&el.name);
+            let mut attrs: Vec<_> = el.attrs.iter().collect();
+            attrs.sort_by(|a, b| a.name.cmp(&b.name));
+            for a in attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                push_escaped_attr(&mut out, &a.value);
+                out.push('"');
+            }
+            if el.children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                let mut kids: Vec<String> = el
+                    .children
+                    .iter()
+                    .map(|&c| canonical_string(doc, c))
+                    .collect();
+                kids.sort();
+                for k in kids {
+                    out.push_str(&k);
+                }
+                out.push_str("</");
+                out.push_str(&el.name);
+                out.push('>');
+            }
+            out
+        }
+    }
+}
+
+/// Compares two subtrees (possibly across documents) under unordered
+/// semantics: attribute order and sibling order are ignored, everything else
+/// (names, values, text, multiplicity) must match.
+pub fn unordered_eq(a_doc: &Document, a: NodeId, b_doc: &Document, b: NodeId) -> bool {
+    canonical_string(a_doc, a) == canonical_string(b_doc, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roots(a: &str, b: &str) -> bool {
+        let da = parse(a).unwrap();
+        let db = parse(b).unwrap();
+        unordered_eq(&da, da.root().unwrap(), &db, db.root().unwrap())
+    }
+
+    #[test]
+    fn sibling_order_ignored() {
+        assert!(roots(
+            r#"<a><b id="1"/><b id="2"/></a>"#,
+            r#"<a><b id="2"/><b id="1"/></a>"#
+        ));
+    }
+
+    #[test]
+    fn attribute_order_ignored() {
+        assert!(roots(r#"<a x="1" y="2"/>"#, r#"<a y="2" x="1"/>"#));
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        assert!(!roots(
+            r#"<a><b/><b/></a>"#,
+            r#"<a><b/></a>"#
+        ));
+    }
+
+    #[test]
+    fn values_matter() {
+        assert!(!roots(r#"<a x="1"/>"#, r#"<a x="2"/>"#));
+        assert!(!roots(r#"<a>t</a>"#, r#"<a>u</a>"#));
+    }
+
+    #[test]
+    fn deep_reordering_ignored() {
+        assert!(roots(
+            r#"<a><b id="1"><c k="x"/><d/></b><b id="2"/></a>"#,
+            r#"<a><b id="2"/><b id="1"><d/><c k="x"/></b></a>"#
+        ));
+    }
+
+    #[test]
+    fn canonical_string_is_stable() {
+        let d = parse(r#"<a y="2" x="1"><c/><b/></a>"#).unwrap();
+        let s = canonical_string(&d, d.root().unwrap());
+        assert_eq!(s, r#"<a x="1" y="2"><b/><c/></a>"#);
+    }
+}

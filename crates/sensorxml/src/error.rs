@@ -1,0 +1,65 @@
+//! Error types for XML parsing and document manipulation.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// An error raised while parsing or manipulating an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// The parser encountered malformed input. Carries a byte offset into the
+    /// input and a human-readable description.
+    Parse { offset: usize, message: String },
+    /// An operation referenced a [`crate::NodeId`] that is not an element
+    /// (e.g. asking for the attributes of a text node).
+    NotAnElement,
+    /// An operation would create a second document root.
+    MultipleRoots,
+    /// The document has no root element (empty document).
+    NoRoot,
+    /// A node id from a different (or stale) document was used.
+    ForeignNode,
+}
+
+impl XmlError {
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        XmlError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            XmlError::NotAnElement => write!(f, "node is not an element"),
+            XmlError::MultipleRoots => write!(f, "document already has a root element"),
+            XmlError::NoRoot => write!(f, "document has no root element"),
+            XmlError::ForeignNode => write!(f, "node id does not belong to this document"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error_includes_offset_and_message() {
+        let e = XmlError::parse(17, "unexpected `<`");
+        assert_eq!(e.to_string(), "XML parse error at byte 17: unexpected `<`");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert_eq!(XmlError::NotAnElement.to_string(), "node is not an element");
+        assert_eq!(XmlError::NoRoot.to_string(), "document has no root element");
+    }
+}

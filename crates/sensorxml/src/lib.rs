@@ -1,0 +1,36 @@
+//! # sensorxml
+//!
+//! An arena-based XML document model tailored to wide area sensor databases
+//! in the style of IrisNet (SIGMOD 2003, "Cache-and-Query for Wide Area
+//! Sensor Databases").
+//!
+//! The paper views an XML document as **unordered**: sibling order carries no
+//! meaning, only the hierarchy and the `id` attributes do. This crate
+//! therefore provides, besides the usual tree construction / navigation /
+//! parsing / serialization, a *canonical form* and *unordered equality* that
+//! ignore sibling order (see [`canonical`]).
+//!
+//! Design notes:
+//!
+//! * Nodes live in a single `Vec` arena owned by [`Document`]; a [`NodeId`]
+//!   is a plain index. This keeps fragments compact, makes deep copies
+//!   between site databases cheap, and avoids `Rc`-cycles entirely.
+//! * Detached nodes are tolerated: removing a subtree merely unlinks it.
+//!   Documents that churn heavily (site caches) can be compacted with
+//!   [`Document::compact`].
+//! * The parser is a small hand-written, zero-dependency recursive-descent
+//!   parser supporting the subset of XML that sensor services use: elements,
+//!   attributes, text, CDATA, comments, processing instructions, numeric and
+//!   the five named entities.
+
+pub mod canonical;
+pub mod error;
+pub mod node;
+pub mod parser;
+pub mod serialize;
+
+pub use canonical::{canonical_string, unordered_eq};
+pub use error::{XmlError, XmlResult};
+pub use node::{Attr, Document, Element, NodeId, NodeKind};
+pub use parser::{parse, parse_with_options, ParseOptions};
+pub use serialize::{serialize, serialize_pretty};

@@ -1,0 +1,563 @@
+//! The arena-based document model.
+//!
+//! A [`Document`] owns all of its nodes in one `Vec` arena; a [`NodeId`] is a
+//! plain index into that arena. Tree edits are O(1) pointer updates plus the
+//! usual `Vec` child-list operations, and copying a subtree between two
+//! documents (the bread-and-butter operation of a caching site) is a single
+//! preorder walk with no reference-counting traffic.
+
+use crate::error::{XmlError, XmlResult};
+
+/// Identifier of a node within one [`Document`] arena.
+///
+/// `NodeId`s are only meaningful for the document that produced them; using
+/// one against another document is either caught ([`Document::compact`]
+/// invalidates ids) or yields an arbitrary node of the other arena. The
+/// higher layers (site databases) never mix arenas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single `name="value"` attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    pub name: String,
+    pub value: String,
+}
+
+/// The element payload of a node: tag name, attributes, child list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    pub name: String,
+    pub attrs: Vec<Attr>,
+    pub children: Vec<NodeId>,
+}
+
+/// What a node is: an element or a text run.
+///
+/// Comments and processing instructions are dropped at parse time; sensor
+/// documents never carry meaning in them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    Element(Element),
+    Text(String),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    parent: Option<NodeId>,
+    kind: NodeKind,
+}
+
+/// An XML document: an arena of nodes plus an optional root element.
+///
+/// The document may be *empty* (no root) — freshly initialised site caches
+/// start that way and acquire a root on the first fragment merge.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Document {
+    /// Creates an empty document with no root.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Creates a document with a root element of the given name and returns
+    /// the document together with the root id.
+    pub fn with_root(name: impl Into<String>) -> (Self, NodeId) {
+        let mut doc = Document::new();
+        let root = doc.create_element(name);
+        doc.root = Some(root);
+        (doc, root)
+    }
+
+    /// The root element, if any.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// The root element, or an error for empty documents.
+    pub fn require_root(&self) -> XmlResult<NodeId> {
+        self.root.ok_or(XmlError::NoRoot)
+    }
+
+    /// Total number of arena slots (including detached/garbage nodes).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn reachable_count(&self) -> usize {
+        match self.root {
+            None => 0,
+            Some(r) => 1 + self.descendants(r).count(),
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Allocates a detached element node.
+    pub fn create_element(&mut self, name: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Element(Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }))
+    }
+
+    /// Allocates a detached text node.
+    pub fn create_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Text(text.into()))
+    }
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { parent: None, kind });
+        id
+    }
+
+    /// Makes `id` the document root. Fails if a different root is already set.
+    pub fn set_root(&mut self, id: NodeId) -> XmlResult<()> {
+        match self.root {
+            Some(r) if r != id => Err(XmlError::MultipleRoots),
+            _ => {
+                self.root = Some(id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends `child` (which must be detached) under `parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
+        debug_assert!(self.node(child).parent.is_none(), "child must be detached");
+        self.node_mut(child).parent = Some(parent);
+        match &mut self.node_mut(parent).kind {
+            NodeKind::Element(el) => el.children.push(child),
+            NodeKind::Text(_) => panic!("cannot append children to a text node"),
+        }
+    }
+
+    /// Unlinks `id` from its parent (or clears the root if `id` is the root).
+    /// The subtree remains in the arena until [`Document::compact`].
+    pub fn detach(&mut self, id: NodeId) {
+        if self.root == Some(id) {
+            self.root = None;
+        }
+        let parent = self.node_mut(id).parent.take();
+        if let Some(p) = parent {
+            if let NodeKind::Element(el) = &mut self.node_mut(p).kind {
+                el.children.retain(|&c| c != id);
+            }
+        }
+    }
+
+    /// The parent of a node, if attached.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// The node kind.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// True if the node is an element.
+    pub fn is_element(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Element(_))
+    }
+
+    /// True if the node is a text node.
+    pub fn is_text(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Text(_))
+    }
+
+    /// Element tag name, or `""` for text nodes.
+    pub fn name(&self, id: NodeId) -> &str {
+        match &self.node(id).kind {
+            NodeKind::Element(el) => &el.name,
+            NodeKind::Text(_) => "",
+        }
+    }
+
+    /// The element payload, or an error for text nodes.
+    pub fn element(&self, id: NodeId) -> XmlResult<&Element> {
+        match &self.node(id).kind {
+            NodeKind::Element(el) => Ok(el),
+            NodeKind::Text(_) => Err(XmlError::NotAnElement),
+        }
+    }
+
+    /// Text-node content (not to be confused with [`Document::text_content`]).
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element(_) => None,
+        }
+    }
+
+    /// Attribute lookup on an element; `None` for missing attributes and for
+    /// text nodes.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element(el) => el
+                .attrs
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// All attributes of an element (empty slice for text nodes).
+    pub fn attrs(&self, id: NodeId) -> &[Attr] {
+        match &self.node(id).kind {
+            NodeKind::Element(el) => &el.attrs,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let NodeKind::Element(el) = &mut self.node_mut(id).kind {
+            if let Some(a) = el.attrs.iter_mut().find(|a| a.name == name) {
+                a.value = value;
+            } else {
+                el.attrs.push(Attr { name, value });
+            }
+        }
+    }
+
+    /// Removes an attribute; returns the old value if present.
+    pub fn remove_attr(&mut self, id: NodeId, name: &str) -> Option<String> {
+        if let NodeKind::Element(el) = &mut self.node_mut(id).kind {
+            if let Some(pos) = el.attrs.iter().position(|a| a.name == name) {
+                return Some(el.attrs.remove(pos).value);
+            }
+        }
+        None
+    }
+
+    /// Child list of an element (empty for text nodes).
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        match &self.node(id).kind {
+            NodeKind::Element(el) => &el.children,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Iterator over the element children only.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| self.is_element(c))
+    }
+
+    /// Finds a child element with the given tag name and `id` attribute value.
+    ///
+    /// This is the fundamental lookup of the IrisNet fragment model, where a
+    /// node's identity among same-named siblings is its `id` attribute.
+    pub fn child_by_name_id(&self, parent: NodeId, name: &str, idval: &str) -> Option<NodeId> {
+        self.child_elements(parent)
+            .find(|&c| self.name(c) == name && self.attr(c, "id") == Some(idval))
+    }
+
+    /// Finds the first child element with the given tag name.
+    pub fn child_by_name(&self, parent: NodeId, name: &str) -> Option<NodeId> {
+        self.child_elements(parent).find(|&c| self.name(c) == name)
+    }
+
+    /// Concatenated text of all descendant text nodes (the XPath
+    /// string-value of an element).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element(el) => {
+                for &c in &el.children {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Replaces the children of `id` with a single text node (the way sensor
+    /// updates overwrite a reading such as `<available>yes</available>`).
+    pub fn set_text_content(&mut self, id: NodeId, text: impl Into<String>) {
+        let old: Vec<NodeId> = self.children(id).to_vec();
+        for c in old {
+            self.detach(c);
+        }
+        let t = self.create_text(text);
+        self.append_child(id, t);
+    }
+
+    /// Preorder iterator over strict descendants of `id`.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: self.children(id).iter().rev().copied().collect(),
+        }
+    }
+
+    /// Iterator over ancestors, nearest first.
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            doc: self,
+            cur: self.parent(id),
+        }
+    }
+
+    /// Depth of `id` (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// Deep-copies the subtree rooted at `src` (in `self`) into `dst`,
+    /// returning the new detached root id in `dst`'s arena.
+    pub fn deep_copy_into(&self, src: NodeId, dst: &mut Document) -> NodeId {
+        let new = match &self.node(src).kind {
+            NodeKind::Text(t) => dst.create_text(t.clone()),
+            NodeKind::Element(el) => {
+                let e = dst.create_element(el.name.clone());
+                for a in &el.attrs {
+                    dst.set_attr(e, a.name.clone(), a.value.clone());
+                }
+                e
+            }
+        };
+        for &c in self.children(src) {
+            let cc = self.deep_copy_into(c, dst);
+            dst.append_child(new, cc);
+        }
+        new
+    }
+
+    /// Copies only the element itself (name + attributes), no children.
+    pub fn shallow_copy_into(&self, src: NodeId, dst: &mut Document) -> NodeId {
+        match &self.node(src).kind {
+            NodeKind::Text(t) => dst.create_text(t.clone()),
+            NodeKind::Element(el) => {
+                let e = dst.create_element(el.name.clone());
+                for a in &el.attrs {
+                    dst.set_attr(e, a.name.clone(), a.value.clone());
+                }
+                e
+            }
+        }
+    }
+
+    /// Rebuilds the arena keeping only nodes reachable from the root.
+    ///
+    /// All previously handed out [`NodeId`]s are invalidated; long-lived
+    /// holders must re-resolve paths afterwards. Returns the number of
+    /// reclaimed slots.
+    pub fn compact(&mut self) -> usize {
+        let before = self.nodes.len();
+        let mut fresh = Document::new();
+        if let Some(r) = self.root {
+            let nr = self.deep_copy_into(r, &mut fresh);
+            fresh.root = Some(nr);
+        }
+        *self = fresh;
+        before - self.nodes.len()
+    }
+}
+
+/// Preorder descendant iterator. See [`Document::descendants`].
+pub struct Descendants<'d> {
+    doc: &'d Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        for &c in self.doc.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+/// Ancestor iterator, nearest first. See [`Document::ancestors`].
+pub struct Ancestors<'d> {
+    doc: &'d Document,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.cur?;
+        self.cur = self.doc.parent(id);
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_doc() -> (Document, NodeId, NodeId, NodeId) {
+        let (mut doc, root) = Document::with_root("city");
+        let n = doc.create_element("neighborhood");
+        doc.set_attr(n, "id", "Oakland");
+        doc.append_child(root, n);
+        let b = doc.create_element("block");
+        doc.set_attr(b, "id", "1");
+        doc.append_child(n, b);
+        (doc, root, n, b)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (doc, root, n, b) = small_doc();
+        assert_eq!(doc.root(), Some(root));
+        assert_eq!(doc.name(root), "city");
+        assert_eq!(doc.parent(n), Some(root));
+        assert_eq!(doc.parent(b), Some(n));
+        assert_eq!(doc.attr(n, "id"), Some("Oakland"));
+        assert_eq!(doc.children(root), &[n]);
+        assert_eq!(doc.depth(b), 2);
+        let anc: Vec<_> = doc.ancestors(b).collect();
+        assert_eq!(anc, vec![n, root]);
+    }
+
+    #[test]
+    fn set_attr_replaces_existing() {
+        let (mut doc, _, n, _) = small_doc();
+        doc.set_attr(n, "id", "Shadyside");
+        assert_eq!(doc.attr(n, "id"), Some("Shadyside"));
+        assert_eq!(doc.attrs(n).len(), 1);
+    }
+
+    #[test]
+    fn remove_attr_returns_old_value() {
+        let (mut doc, _, n, _) = small_doc();
+        assert_eq!(doc.remove_attr(n, "id"), Some("Oakland".to_string()));
+        assert_eq!(doc.remove_attr(n, "id"), None);
+        assert_eq!(doc.attr(n, "id"), None);
+    }
+
+    #[test]
+    fn text_content_concatenates_descendants() {
+        let (mut doc, _, _, b) = small_doc();
+        let sp = doc.create_element("parkingSpace");
+        doc.append_child(b, sp);
+        let avail = doc.create_element("available");
+        doc.append_child(sp, avail);
+        doc.set_text_content(avail, "yes");
+        assert_eq!(doc.text_content(b), "yes");
+        assert_eq!(doc.text_content(avail), "yes");
+    }
+
+    #[test]
+    fn set_text_content_replaces_children() {
+        let (mut doc, _, n, _) = small_doc();
+        doc.set_text_content(n, "first");
+        doc.set_text_content(n, "second");
+        assert_eq!(doc.text_content(n), "second");
+        assert_eq!(doc.children(n).len(), 1);
+    }
+
+    #[test]
+    fn detach_unlinks_subtree() {
+        let (mut doc, root, n, b) = small_doc();
+        doc.detach(n);
+        assert!(doc.children(root).is_empty());
+        assert_eq!(doc.parent(n), None);
+        // The subtree stays intact below the detachment point.
+        assert_eq!(doc.parent(b), Some(n));
+    }
+
+    #[test]
+    fn detach_root_clears_root() {
+        let (mut doc, root, ..) = small_doc();
+        doc.detach(root);
+        assert_eq!(doc.root(), None);
+        assert_eq!(doc.reachable_count(), 0);
+    }
+
+    #[test]
+    fn child_by_name_id_distinguishes_siblings() {
+        let (mut doc, _, n, b1) = small_doc();
+        let b2 = doc.create_element("block");
+        doc.set_attr(b2, "id", "2");
+        doc.append_child(n, b2);
+        assert_eq!(doc.child_by_name_id(n, "block", "1"), Some(b1));
+        assert_eq!(doc.child_by_name_id(n, "block", "2"), Some(b2));
+        assert_eq!(doc.child_by_name_id(n, "block", "3"), None);
+        assert_eq!(doc.child_by_name_id(n, "street", "1"), None);
+    }
+
+    #[test]
+    fn deep_copy_into_other_document() {
+        let (doc, _, n, _) = small_doc();
+        let mut dst = Document::new();
+        let copied = doc.deep_copy_into(n, &mut dst);
+        dst.set_root(copied).unwrap();
+        assert_eq!(dst.name(copied), "neighborhood");
+        assert_eq!(dst.attr(copied, "id"), Some("Oakland"));
+        assert_eq!(dst.child_elements(copied).count(), 1);
+    }
+
+    #[test]
+    fn shallow_copy_skips_children() {
+        let (doc, _, n, _) = small_doc();
+        let mut dst = Document::new();
+        let copied = doc.shallow_copy_into(n, &mut dst);
+        assert_eq!(dst.attr(copied, "id"), Some("Oakland"));
+        assert!(dst.children(copied).is_empty());
+    }
+
+    #[test]
+    fn compact_reclaims_garbage() {
+        let (mut doc, _, n, _) = small_doc();
+        doc.detach(n);
+        let before = doc.arena_len();
+        let reclaimed = doc.compact();
+        assert!(reclaimed > 0);
+        assert!(doc.arena_len() < before);
+        assert_eq!(doc.reachable_count(), 1); // just the root
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (doc, root, n, b) = small_doc();
+        let d: Vec<_> = doc.descendants(root).collect();
+        assert_eq!(d, vec![n, b]);
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let (mut doc, _root) = Document::with_root("a");
+        let other = doc.create_element("b");
+        assert_eq!(doc.set_root(other), Err(XmlError::MultipleRoots));
+    }
+}

@@ -1,0 +1,142 @@
+//! Serialization of [`Document`]s (and subtrees) back to XML text.
+
+use crate::node::{Document, NodeId, NodeKind};
+
+/// Serializes the subtree rooted at `id` to compact single-line XML.
+pub fn serialize(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out, None, 0);
+    out
+}
+
+/// Serializes the subtree rooted at `id` with `indent`-space indentation.
+pub fn serialize_pretty(doc: &Document, id: NodeId, indent: usize) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out, Some(indent), 0);
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+    match doc.kind(id) {
+        NodeKind::Text(t) => {
+            pad(out, indent, depth);
+            push_escaped_text(out, t);
+            newline(out, indent);
+        }
+        NodeKind::Element(el) => {
+            pad(out, indent, depth);
+            out.push('<');
+            out.push_str(&el.name);
+            for a in &el.attrs {
+                out.push(' ');
+                out.push_str(&a.name);
+                out.push_str("=\"");
+                push_escaped_attr(out, &a.value);
+                out.push('"');
+            }
+            if el.children.is_empty() {
+                out.push_str("/>");
+                newline(out, indent);
+            } else {
+                out.push('>');
+                // Elements whose only child is a single text node are kept on
+                // one line even in pretty mode: `<available>yes</available>`.
+                let single_text =
+                    el.children.len() == 1 && doc.text(el.children[0]).is_some();
+                if single_text {
+                    push_escaped_text(out, doc.text(el.children[0]).unwrap());
+                } else {
+                    newline(out, indent);
+                    for &c in &el.children {
+                        write_node(doc, c, out, indent, depth + 1);
+                    }
+                    pad(out, indent, depth);
+                }
+                out.push_str("</");
+                out.push_str(&el.name);
+                out.push('>');
+                newline(out, indent);
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        for _ in 0..n * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>) {
+    if indent.is_some() {
+        out.push('\n');
+    }
+}
+
+/// Escapes `<`, `>`, `&` in text content.
+pub fn push_escaped_text(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Escapes `<`, `&`, `"` in attribute values.
+pub fn push_escaped_attr(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_compact() {
+        let xml = r#"<a x="1"><b id="2">hi</b><c/></a>"#;
+        let doc = parse(xml).unwrap();
+        let s = serialize(&doc, doc.root().unwrap());
+        assert_eq!(s, xml);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let xml = r#"<a m="&lt;&quot;&amp;">a &lt; b &amp; c</a>"#;
+        let doc = parse(xml).unwrap();
+        let s = serialize(&doc, doc.root().unwrap());
+        let doc2 = parse(&s).unwrap();
+        assert_eq!(doc2.attr(doc2.root().unwrap(), "m"), Some("<\"&"));
+        assert_eq!(doc2.text_content(doc2.root().unwrap()), "a < b & c");
+    }
+
+    #[test]
+    fn pretty_print_is_reparseable_and_indented() {
+        let doc = parse(r#"<a><b id="1"><c>t</c></b></a>"#).unwrap();
+        let s = serialize_pretty(&doc, doc.root().unwrap(), 2);
+        assert!(s.contains("\n  <b"));
+        assert!(s.contains("<c>t</c>"));
+        let doc2 = parse(&s).unwrap();
+        assert_eq!(doc2.reachable_count(), doc.reachable_count());
+    }
+
+    #[test]
+    fn serialize_subtree_only() {
+        let doc = parse(r#"<a><b id="1"><c/></b><b id="2"/></a>"#).unwrap();
+        let root = doc.root().unwrap();
+        let b1 = doc.child_by_name_id(root, "b", "1").unwrap();
+        assert_eq!(serialize(&doc, b1), r#"<b id="1"><c/></b>"#);
+    }
+}

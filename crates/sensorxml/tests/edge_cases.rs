@@ -1,0 +1,175 @@
+//! Edge-case tests for the XML substrate: parser pathologies, deep
+//! nesting, attribute semantics, arena behaviour under churn.
+
+use sensorxml::{parse, serialize, unordered_eq, Document, XmlError};
+
+#[test]
+fn deeply_nested_document() {
+    let depth = 64;
+    let mut text = String::new();
+    for i in 0..depth {
+        text.push_str(&format!("<n{i}>"));
+    }
+    text.push_str("leaf");
+    for i in (0..depth).rev() {
+        text.push_str(&format!("</n{i}>"));
+    }
+    let doc = parse(&text).unwrap();
+    assert_eq!(doc.reachable_count(), depth + 1); // elements + text
+    assert_eq!(doc.text_content(doc.root().unwrap()), "leaf");
+}
+
+#[test]
+fn wide_document() {
+    let mut text = String::from("<r>");
+    for i in 0..5000 {
+        text.push_str(&format!("<c id=\"{i}\"/>"));
+    }
+    text.push_str("</r>");
+    let doc = parse(&text).unwrap();
+    let root = doc.root().unwrap();
+    assert_eq!(doc.children(root).len(), 5000);
+    assert_eq!(doc.child_by_name_id(root, "c", "4999").map(|n| doc.name(n)), Some("c"));
+    // Round trips.
+    let back = parse(&serialize(&doc, root)).unwrap();
+    assert!(unordered_eq(&doc, root, &back, back.root().unwrap()));
+}
+
+#[test]
+fn duplicate_attributes_last_wins() {
+    // Our parser treats a repeated attribute as an overwrite (documented
+    // deviation from strict XML well-formedness, convenient for merged
+    // fragments).
+    let doc = parse(r#"<a x="1" x="2"/>"#).unwrap();
+    assert_eq!(doc.attr(doc.root().unwrap(), "x"), Some("2"));
+}
+
+#[test]
+fn crlf_and_tabs_in_text() {
+    let doc = parse("<a>line1\r\n\tline2</a>").unwrap();
+    assert_eq!(doc.text_content(doc.root().unwrap()), "line1\r\n\tline2");
+}
+
+#[test]
+fn attribute_value_with_angle_and_newline() {
+    let doc = parse("<a v=\"x &gt; y\nz\"/>").unwrap();
+    assert_eq!(doc.attr(doc.root().unwrap(), "v"), Some("x > y\nz"));
+}
+
+#[test]
+fn comments_between_everything() {
+    let doc = parse(
+        "<!--a--><r><!--b-->text<!--c--><child/><!--d--></r><!--e-->",
+    )
+    .unwrap();
+    let root = doc.root().unwrap();
+    assert_eq!(doc.text_content(root), "text");
+    assert_eq!(doc.child_elements(root).count(), 1);
+}
+
+#[test]
+fn error_positions_are_plausible() {
+    let err = parse("<a><b></c></a>").unwrap_err();
+    let XmlError::Parse { offset, .. } = err else { panic!() };
+    assert!((6..=10).contains(&offset), "offset {offset}");
+}
+
+#[test]
+fn detach_and_reattach_subtree() {
+    let mut doc = parse("<r><a id=\"1\"><x/></a><b/></r>").unwrap();
+    let root = doc.root().unwrap();
+    let a = doc.child_by_name(root, "a").unwrap();
+    let b = doc.child_by_name(root, "b").unwrap();
+    doc.detach(a);
+    assert_eq!(doc.children(root).len(), 1);
+    // Reattach under b.
+    doc.append_child(b, a);
+    assert_eq!(doc.parent(a), Some(b));
+    let s = serialize(&doc, root);
+    assert_eq!(s, r#"<r><b><a id="1"><x/></a></b></r>"#);
+}
+
+#[test]
+fn compact_preserves_content_under_churn() {
+    let mut doc = parse("<r/>").unwrap();
+    let root = doc.root().unwrap();
+    // Churn: add and remove children repeatedly.
+    for round in 0..50 {
+        let c = doc.create_element("c");
+        doc.set_attr(c, "id", round.to_string());
+        doc.append_child(root, c);
+        if round % 2 == 0 {
+            doc.detach(c);
+        }
+    }
+    let before_xml = serialize(&doc, doc.root().unwrap());
+    let reclaimed = doc.compact();
+    assert!(reclaimed > 0);
+    let after_xml = serialize(&doc, doc.root().unwrap());
+    assert_eq!(before_xml, after_xml);
+    assert_eq!(doc.child_elements(doc.root().unwrap()).count(), 25);
+}
+
+#[test]
+fn canonical_string_distinguishes_text_placement() {
+    // <a><b>x</b></a> vs <a><b/>x</a> must differ.
+    let d1 = parse("<a><b>x</b></a>").unwrap();
+    let d2 = parse("<a><b/>x</a>").unwrap();
+    assert!(!unordered_eq(&d1, d1.root().unwrap(), &d2, d2.root().unwrap()));
+}
+
+#[test]
+fn unicode_content_roundtrip() {
+    let xml = "<区域 id=\"北\"><δοκιμή>наблюдение 🎈</δοκιμή></区域>";
+    let doc = parse(xml).unwrap();
+    let back = parse(&serialize(&doc, doc.root().unwrap())).unwrap();
+    assert!(unordered_eq(
+        &doc,
+        doc.root().unwrap(),
+        &back,
+        back.root().unwrap()
+    ));
+    assert_eq!(
+        doc.text_content(doc.root().unwrap()),
+        "наблюдение 🎈"
+    );
+}
+
+#[test]
+fn set_text_content_on_element_with_element_children() {
+    let mut doc = parse("<a><b/><c/></a>").unwrap();
+    let root = doc.root().unwrap();
+    doc.set_text_content(root, "replaced");
+    assert_eq!(doc.children(root).len(), 1);
+    assert_eq!(doc.text_content(root), "replaced");
+}
+
+#[test]
+fn require_root_on_empty_document() {
+    let doc = Document::new();
+    assert!(matches!(doc.require_root(), Err(XmlError::NoRoot)));
+    assert_eq!(doc.reachable_count(), 0);
+}
+
+#[test]
+fn serialize_pretty_stable_structure() {
+    let doc = parse(r#"<a><b id="1"><c>v</c></b><b id="2"/></a>"#).unwrap();
+    let pretty = sensorxml::serialize_pretty(&doc, doc.root().unwrap(), 4);
+    let lines: Vec<&str> = pretty.lines().collect();
+    assert!(lines[0].starts_with("<a>"));
+    assert!(lines[1].starts_with("    <b"));
+    // Leaf with single text child stays inline.
+    assert!(pretty.contains("<c>v</c>"));
+}
+
+#[test]
+fn cdata_with_special_sequences() {
+    let doc = parse("<a><![CDATA[a]]b&<>]]></a>").unwrap();
+    assert_eq!(doc.text_content(doc.root().unwrap()), "a]]b&<>");
+}
+
+#[test]
+fn large_entity_chain() {
+    let doc = parse("<a>&amp;&amp;&lt;&gt;&#65;&#x41;</a>").unwrap();
+    assert_eq!(doc.text_content(doc.root().unwrap()), "&&<>AA");
+}

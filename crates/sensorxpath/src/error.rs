@@ -1,0 +1,87 @@
+//! Error types for XPath lexing, parsing and evaluation.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XPathResult<T> = Result<T, XPathError>;
+
+/// An error raised while lexing, parsing, or evaluating an XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathError {
+    /// Lexical error with byte offset into the expression.
+    Lex { offset: usize, message: String },
+    /// Syntax error with byte offset into the expression.
+    Syntax { offset: usize, message: String },
+    /// An order-dependent construct was used; the unordered fragment
+    /// excludes `position()`, `last()`, positional predicates, and the
+    /// sibling/preceding/following axes (paper §3.1).
+    Ordered(String),
+    /// A call to an unknown function.
+    UnknownFunction(String),
+    /// A function was called with the wrong number of arguments.
+    Arity { function: String, expected: String, got: usize },
+    /// An unbound variable reference.
+    UnboundVariable(String),
+    /// A value had the wrong type for the operation (e.g. taking a location
+    /// step from a number).
+    Type(String),
+}
+
+impl XPathError {
+    pub(crate) fn lex(offset: usize, message: impl Into<String>) -> Self {
+        XPathError::Lex { offset, message: message.into() }
+    }
+
+    pub(crate) fn syntax(offset: usize, message: impl Into<String>) -> Self {
+        XPathError::Syntax { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XPathError::Lex { offset, message } => {
+                write!(f, "XPath lexical error at byte {offset}: {message}")
+            }
+            XPathError::Syntax { offset, message } => {
+                write!(f, "XPath syntax error at byte {offset}: {message}")
+            }
+            XPathError::Ordered(what) => write!(
+                f,
+                "`{what}` is order-dependent and unsupported in the unordered XPath fragment"
+            ),
+            XPathError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            XPathError::Arity { function, expected, got } => write!(
+                f,
+                "function `{function}` expects {expected} argument(s), got {got}"
+            ),
+            XPathError::UnboundVariable(name) => write!(f, "unbound variable `${name}`"),
+            XPathError::Type(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(XPathError::Ordered("position()".into())
+            .to_string()
+            .contains("order-dependent"));
+        assert_eq!(
+            XPathError::UnknownFunction("min".into()).to_string(),
+            "unknown function `min`"
+        );
+        assert!(XPathError::Arity {
+            function: "not".into(),
+            expected: "1".into(),
+            got: 2
+        }
+        .to_string()
+        .contains("expects 1"));
+    }
+}

@@ -1,0 +1,357 @@
+//! The XPath 1.0 core function library (unordered fragment), plus the
+//! `now()` extension used by query-based consistency predicates (paper §4).
+//!
+//! `position()` and `last()` are rejected at parse time; `id()` is omitted
+//! because sensor-document ids are only sibling-unique (Definition 3.1), not
+//! document-unique, so the XPath `id()` function has no meaning here.
+
+use crate::error::{XPathError, XPathResult};
+use crate::eval::EvalContext;
+use crate::value::Value;
+
+/// Dispatches a function call on already-evaluated arguments.
+pub fn call(name: &str, args: Vec<Value>, ctx: &EvalContext<'_>) -> XPathResult<Value> {
+    match name {
+        "true" => nullary(name, &args).map(|_| Value::Bool(true)),
+        "false" => nullary(name, &args).map(|_| Value::Bool(false)),
+        "not" => {
+            let [a] = take::<1>(name, args)?;
+            Ok(Value::Bool(!a.boolean()))
+        }
+        "boolean" => {
+            let [a] = take::<1>(name, args)?;
+            Ok(Value::Bool(a.boolean()))
+        }
+        "number" => match args.len() {
+            0 => Ok(Value::Num(ctx_value(ctx).number(ctx.doc))),
+            1 => Ok(Value::Num(args[0].number(ctx.doc))),
+            n => arity(name, "0 or 1", n),
+        },
+        "string" => match args.len() {
+            0 => Ok(Value::Str(ctx_value(ctx).string(ctx.doc))),
+            1 => Ok(Value::Str(args[0].string(ctx.doc))),
+            n => arity(name, "0 or 1", n),
+        },
+        "count" => {
+            let [a] = take::<1>(name, args)?;
+            match a {
+                Value::Nodes(ns) => Ok(Value::Num(ns.len() as f64)),
+                _ => Err(XPathError::Type("count() requires a node-set".into())),
+            }
+        }
+        "sum" => {
+            let [a] = take::<1>(name, args)?;
+            match a {
+                Value::Nodes(ns) => Ok(Value::Num(
+                    ns.iter()
+                        .map(|n| crate::value::string_to_number(&n.string_value(ctx.doc)))
+                        .sum(),
+                )),
+                _ => Err(XPathError::Type("sum() requires a node-set".into())),
+            }
+        }
+        "concat" => {
+            if args.len() < 2 {
+                return arity(name, "2 or more", args.len());
+            }
+            let mut out = String::new();
+            for a in &args {
+                out.push_str(&a.string(ctx.doc));
+            }
+            Ok(Value::Str(out))
+        }
+        "contains" => {
+            let [a, b] = take::<2>(name, args)?;
+            Ok(Value::Bool(
+                a.string(ctx.doc).contains(&b.string(ctx.doc)),
+            ))
+        }
+        "starts-with" => {
+            let [a, b] = take::<2>(name, args)?;
+            Ok(Value::Bool(
+                a.string(ctx.doc).starts_with(&b.string(ctx.doc)),
+            ))
+        }
+        "substring-before" => {
+            let [a, b] = take::<2>(name, args)?;
+            let s = a.string(ctx.doc);
+            let sep = b.string(ctx.doc);
+            Ok(Value::Str(
+                s.split_once(&sep).map(|(pre, _)| pre.to_string()).unwrap_or_default(),
+            ))
+        }
+        "substring-after" => {
+            let [a, b] = take::<2>(name, args)?;
+            let s = a.string(ctx.doc);
+            let sep = b.string(ctx.doc);
+            Ok(Value::Str(
+                s.split_once(&sep).map(|(_, post)| post.to_string()).unwrap_or_default(),
+            ))
+        }
+        "substring" => substring(name, args, ctx),
+        "string-length" => match args.len() {
+            0 => Ok(Value::Num(ctx_value(ctx).string(ctx.doc).chars().count() as f64)),
+            1 => Ok(Value::Num(args[0].string(ctx.doc).chars().count() as f64)),
+            n => arity(name, "0 or 1", n),
+        },
+        "normalize-space" => {
+            let s = match args.len() {
+                0 => ctx_value(ctx).string(ctx.doc),
+                1 => args[0].string(ctx.doc),
+                n => return arity(name, "0 or 1", n),
+            };
+            Ok(Value::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
+        }
+        "translate" => {
+            let [a, b, c] = take::<3>(name, args)?;
+            let s = a.string(ctx.doc);
+            let from: Vec<char> = b.string(ctx.doc).chars().collect();
+            let to: Vec<char> = c.string(ctx.doc).chars().collect();
+            let mut out = String::with_capacity(s.len());
+            for ch in s.chars() {
+                match from.iter().position(|&f| f == ch) {
+                    Some(i) => {
+                        if let Some(&r) = to.get(i) {
+                            out.push(r);
+                        } // else: dropped
+                    }
+                    None => out.push(ch),
+                }
+            }
+            Ok(Value::Str(out))
+        }
+        "floor" => {
+            let [a] = take::<1>(name, args)?;
+            Ok(Value::Num(a.number(ctx.doc).floor()))
+        }
+        "ceiling" => {
+            let [a] = take::<1>(name, args)?;
+            Ok(Value::Num(a.number(ctx.doc).ceil()))
+        }
+        "round" => {
+            let [a] = take::<1>(name, args)?;
+            let n = a.number(ctx.doc);
+            // XPath round: round half towards positive infinity.
+            Ok(Value::Num((n + 0.5).floor()))
+        }
+        "name" | "local-name" => {
+            let node = match args.len() {
+                0 => Some(ctx.node),
+                1 => match &args[0] {
+                    Value::Nodes(ns) => ns.first().copied(),
+                    _ => return Err(XPathError::Type(format!("{name}() requires a node-set"))),
+                },
+                n => return arity(name, "0 or 1", n),
+            };
+            Ok(Value::Str(
+                node.map(|n| n.node_name(ctx.doc).to_string()).unwrap_or_default(),
+            ))
+        }
+        "now" => {
+            nullary(name, &args)?;
+            Ok(Value::Num(ctx.now))
+        }
+        other => Err(XPathError::UnknownFunction(other.to_string())),
+    }
+}
+
+fn substring(name: &str, args: Vec<Value>, ctx: &EvalContext<'_>) -> XPathResult<Value> {
+    if args.len() != 2 && args.len() != 3 {
+        return arity(name, "2 or 3", args.len());
+    }
+    let s = args[0].string(ctx.doc);
+    let chars: Vec<char> = s.chars().collect();
+    // XPath 1.0 §4.2: positions are 1-based, arguments are rounded.
+    let start = round_xpath(args[1].number(ctx.doc));
+    let len = if args.len() == 3 {
+        round_xpath(args[2].number(ctx.doc))
+    } else {
+        f64::INFINITY
+    };
+    if start.is_nan() || len.is_nan() {
+        return Ok(Value::Str(String::new()));
+    }
+    let end = start + len;
+    let out: String = chars
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let pos = (*i + 1) as f64;
+            pos >= start && pos < end
+        })
+        .map(|(_, c)| *c)
+        .collect();
+    Ok(Value::Str(out))
+}
+
+fn round_xpath(n: f64) -> f64 {
+    if n.is_nan() || n.is_infinite() {
+        n
+    } else {
+        (n + 0.5).floor()
+    }
+}
+
+fn ctx_value(ctx: &EvalContext<'_>) -> Value {
+    Value::Nodes(vec![ctx.node])
+}
+
+fn nullary(name: &str, args: &[Value]) -> XPathResult<()> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(XPathError::Arity {
+            function: name.to_string(),
+            expected: "0".to_string(),
+            got: args.len(),
+        })
+    }
+}
+
+fn take<const N: usize>(name: &str, args: Vec<Value>) -> XPathResult<[Value; N]> {
+    args.try_into().map_err(|v: Vec<Value>| XPathError::Arity {
+        function: name.to_string(),
+        expected: N.to_string(),
+        got: v.len(),
+    })
+}
+
+fn arity<T>(name: &str, expected: &str, got: usize) -> XPathResult<T> {
+    Err(XPathError::Arity {
+        function: name.to_string(),
+        expected: expected.to_string(),
+        got,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::Expr;
+    use crate::error::XPathError;
+    use crate::eval::{evaluate, EvalContext, Vars};
+    use crate::parser::parse;
+    use crate::value::{Value, XNode};
+    use sensorxml::parse as parse_xml;
+
+    fn eval(q: &str) -> Value {
+        let d = parse_xml(
+            "<root label='R'><p>10</p><p>25</p><s>  hello   world </s><e/></root>",
+        )
+        .unwrap();
+        let e = parse(q).unwrap();
+        let vars = Vars::new();
+        let mut ctx = EvalContext::new(&d, XNode::Node(d.root().unwrap()), &vars);
+        ctx.now = 1000.0;
+        evaluate(&e, &ctx).unwrap()
+    }
+
+    fn eval_err(q: &str) -> XPathError {
+        let d = parse_xml("<root/>").unwrap();
+        let e = parse(q).unwrap();
+        let vars = Vars::new();
+        let ctx = EvalContext::new(&d, XNode::Node(d.root().unwrap()), &vars);
+        evaluate(&e, &ctx).unwrap_err()
+    }
+
+    #[test]
+    fn booleans_and_not() {
+        assert_eq!(eval("true()"), Value::Bool(true));
+        assert_eq!(eval("false()"), Value::Bool(false));
+        assert_eq!(eval("not(false())"), Value::Bool(true));
+        assert_eq!(eval("boolean(p)"), Value::Bool(true));
+        assert_eq!(eval("boolean(missing)"), Value::Bool(false));
+        assert_eq!(eval("boolean('')"), Value::Bool(false));
+    }
+
+    #[test]
+    fn count_and_sum() {
+        assert_eq!(eval("count(p)"), Value::Num(2.0));
+        assert_eq!(eval("count(missing)"), Value::Num(0.0));
+        assert_eq!(eval("sum(p)"), Value::Num(35.0));
+        assert!(matches!(eval_err("count(5)"), XPathError::Type(_)));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval("concat('a', 'b', 'c')"), Value::Str("abc".into()));
+        assert_eq!(eval("contains('parking', 'king')"), Value::Bool(true));
+        assert_eq!(eval("starts-with('parking', 'park')"), Value::Bool(true));
+        assert_eq!(eval("starts-with('parking', 'king')"), Value::Bool(false));
+        assert_eq!(
+            eval("substring-before('a=b', '=')"),
+            Value::Str("a".into())
+        );
+        assert_eq!(eval("substring-after('a=b', '=')"), Value::Str("b".into()));
+        assert_eq!(eval("substring-before('ab', 'x')"), Value::Str("".into()));
+        assert_eq!(eval("string-length('abcd')"), Value::Num(4.0));
+        assert_eq!(
+            eval("normalize-space(s)"),
+            Value::Str("hello world".into())
+        );
+        assert_eq!(
+            eval("translate('bar', 'abc', 'ABC')"),
+            Value::Str("BAr".into())
+        );
+        assert_eq!(eval("translate('bar', 'ar', 'x')"), Value::Str("bx".into()));
+    }
+
+    #[test]
+    fn substring_xpath_semantics() {
+        // Classic XPath 1.0 spec examples.
+        assert_eq!(eval("substring('12345', 2, 3)"), Value::Str("234".into()));
+        assert_eq!(eval("substring('12345', 2)"), Value::Str("2345".into()));
+        assert_eq!(
+            eval("substring('12345', 1.5, 2.6)"),
+            Value::Str("234".into())
+        );
+        assert_eq!(eval("substring('12345', 0, 3)"), Value::Str("12".into()));
+        assert_eq!(eval("substring('12345', 7)"), Value::Str("".into()));
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(eval("floor(2.6)"), Value::Num(2.0));
+        assert_eq!(eval("ceiling(2.2)"), Value::Num(3.0));
+        assert_eq!(eval("round(2.5)"), Value::Num(3.0));
+        assert_eq!(eval("round(-2.5)"), Value::Num(-2.0)); // half toward +inf
+        assert_eq!(eval("number('42')"), Value::Num(42.0));
+        assert_eq!(eval("string(1.5)"), Value::Str("1.5".into()));
+        assert_eq!(eval("string(7)"), Value::Str("7".into()));
+    }
+
+    #[test]
+    fn name_functions() {
+        assert_eq!(eval("name()"), Value::Str("root".into()));
+        assert_eq!(eval("name(p)"), Value::Str("p".into()));
+        assert_eq!(eval("local-name(@label)"), Value::Str("label".into()));
+        assert_eq!(eval("name(missing)"), Value::Str("".into()));
+    }
+
+    #[test]
+    fn now_extension() {
+        assert_eq!(eval("now()"), Value::Num(1000.0));
+        assert_eq!(eval("now() - 30 < now()"), Value::Bool(true));
+    }
+
+    #[test]
+    fn arity_and_unknown_errors() {
+        assert!(matches!(eval_err("not()"), XPathError::Arity { .. }));
+        assert!(matches!(eval_err("true(1)"), XPathError::Arity { .. }));
+        assert!(matches!(eval_err("concat('a')"), XPathError::Arity { .. }));
+        assert!(matches!(
+            eval_err("minimum(1, 2)"),
+            XPathError::UnknownFunction(_)
+        ));
+    }
+
+    #[test]
+    fn zero_arg_defaults_use_context_node() {
+        // string() of the context node concatenates descendant text.
+        let v = eval("string-length()");
+        let Value::Num(n) = v else { panic!() };
+        assert!(n > 0.0);
+    }
+
+    #[allow(unused)]
+    fn silence(_: Expr) {}
+}

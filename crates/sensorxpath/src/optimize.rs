@@ -1,0 +1,314 @@
+//! Static expression optimization.
+//!
+//! Two transformations that matter for QEG programs (which evaluate the
+//! same predicates against thousands of nodes):
+//!
+//! * **constant folding** — arithmetic/boolean/comparison subexpressions
+//!   with no data references collapse to literals (`2 * 30` → `60`,
+//!   `true() and @x = '1'` → `@x = '1'`);
+//! * **predicate reordering** — within a step's predicate list, cheap
+//!   id-attribute tests run before arbitrary predicates, so non-matching
+//!   siblings are rejected before any subtree-touching work.
+//!
+//! Semantics note: reordering is sound because the unordered fragment has
+//! no positional predicates (rejected at parse time) and predicate
+//! evaluation here is side-effect-free.
+
+use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
+use crate::value::number_to_string;
+
+/// Optimizes an expression tree (see module docs).
+pub fn optimize(expr: &Expr) -> Expr {
+    fold(expr)
+}
+
+fn fold(e: &Expr) -> Expr {
+    match e {
+        Expr::Binary(op, l, r) => {
+            let l = fold(l);
+            let r = fold(r);
+            fold_binary(*op, l, r)
+        }
+        Expr::Negate(inner) => {
+            let inner = fold(inner);
+            if let Some(n) = as_const_num(&inner) {
+                Expr::Number(-n)
+            } else {
+                Expr::Negate(Box::new(inner))
+            }
+        }
+        Expr::Union(l, r) => Expr::Union(Box::new(fold(l)), Box::new(fold(r))),
+        Expr::Path(p) => Expr::Path(fold_path(p)),
+        Expr::Filter { primary, predicates, trailing } => Expr::Filter {
+            primary: Box::new(fold(primary)),
+            predicates: predicates.iter().map(fold).collect(),
+            trailing: trailing.iter().map(fold_step).collect(),
+        },
+        Expr::Call(name, args) => {
+            let args: Vec<Expr> = args.iter().map(fold).collect();
+            fold_call(name, args)
+        }
+        other => other.clone(),
+    }
+}
+
+fn fold_path(p: &LocationPath) -> LocationPath {
+    LocationPath {
+        absolute: p.absolute,
+        steps: p.steps.iter().map(fold_step).collect(),
+    }
+}
+
+fn fold_step(s: &Step) -> Step {
+    let mut predicates: Vec<Expr> = s.predicates.iter().map(fold).collect();
+    // Drop predicates folded to `true()`; a `false()` predicate empties
+    // the step, which downstream evaluation handles naturally.
+    predicates.retain(|p| !is_true_call(p));
+    // Id-attribute-only predicates first (cheap rejection).
+    predicates.sort_by_key(|p| usize::from(p.as_id_equals().is_none()));
+    Step { axis: s.axis, test: s.test.clone(), predicates }
+}
+
+fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+    use BinOp::*;
+    // Boolean short-circuits with constant operands.
+    match op {
+        And => {
+            if is_true_call(&l) {
+                return r;
+            }
+            if is_true_call(&r) {
+                return l;
+            }
+            if is_false_call(&l) || is_false_call(&r) {
+                return Expr::Call("false".into(), vec![]);
+            }
+        }
+        Or => {
+            if is_false_call(&l) {
+                return r;
+            }
+            if is_false_call(&r) {
+                return l;
+            }
+            if is_true_call(&l) || is_true_call(&r) {
+                return Expr::Call("true".into(), vec![]);
+            }
+        }
+        _ => {}
+    }
+    // Numeric constant folding.
+    if let (Some(a), Some(b)) = (as_const_num(&l), as_const_num(&r)) {
+        let out = match op {
+            Add => Some(a + b),
+            Sub => Some(a - b),
+            Mul => Some(a * b),
+            Div => Some(a / b),
+            Mod => Some(a % b),
+            Eq => return bool_call(a == b),
+            Ne => return bool_call(a != b),
+            Lt => return bool_call(a < b),
+            Le => return bool_call(a <= b),
+            Gt => return bool_call(a > b),
+            Ge => return bool_call(a >= b),
+            And | Or => None,
+        };
+        if let Some(n) = out {
+            if n.is_finite() {
+                return Expr::Number(n);
+            }
+        }
+    }
+    // String constant comparisons.
+    if let (Expr::Literal(a), Expr::Literal(b)) = (&l, &r) {
+        match op {
+            Eq => return bool_call(a == b),
+            Ne => return bool_call(a != b),
+            _ => {}
+        }
+    }
+    Expr::Binary(op, Box::new(l), Box::new(r))
+}
+
+fn fold_call(name: &str, args: Vec<Expr>) -> Expr {
+    match (name, args.as_slice()) {
+        ("not", [a]) if is_true_call(a) => Expr::Call("false".into(), vec![]),
+        ("not", [a]) if is_false_call(a) => Expr::Call("true".into(), vec![]),
+        ("number", [Expr::Number(n)]) => Expr::Number(*n),
+        ("string", [Expr::Number(n)]) => Expr::Literal(number_to_string(*n)),
+        ("string", [Expr::Literal(s)]) => Expr::Literal(s.clone()),
+        ("concat", parts)
+            if parts.len() >= 2 && parts.iter().all(|p| matches!(p, Expr::Literal(_))) =>
+        {
+            let joined: String = parts
+                .iter()
+                .map(|p| match p {
+                    Expr::Literal(s) => s.as_str(),
+                    _ => unreachable!("checked above"),
+                })
+                .collect();
+            Expr::Literal(joined)
+        }
+        _ => Expr::Call(name.to_string(), args),
+    }
+}
+
+fn as_const_num(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Number(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn is_true_call(e: &Expr) -> bool {
+    matches!(e, Expr::Call(n, args) if n == "true" && args.is_empty())
+}
+
+fn is_false_call(e: &Expr) -> bool {
+    matches!(e, Expr::Call(n, args) if n == "false" && args.is_empty())
+}
+
+fn bool_call(b: bool) -> Expr {
+    Expr::Call(if b { "true" } else { "false" }.to_string(), vec![])
+}
+
+/// True if the expression references no document data (safe to hoist).
+pub fn is_constant(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) | Expr::Number(_) => true,
+        Expr::Binary(_, l, r) | Expr::Union(l, r) => is_constant(l) && is_constant(r),
+        Expr::Negate(i) => is_constant(i),
+        Expr::Call(name, args) => name != "now" && args.iter().all(is_constant),
+        Expr::Path(_) | Expr::Filter { .. } | Expr::Var(_) => false,
+    }
+}
+
+/// Cost hint for a step predicate: 0 = id equality, 1 = attribute-only,
+/// 2 = anything touching child content.
+pub fn predicate_cost(e: &Expr) -> u8 {
+    if e.as_id_equals().is_some() {
+        return 0;
+    }
+    fn touches_children(e: &Expr) -> bool {
+        match e {
+            Expr::Path(p) => p.steps.iter().any(|s| {
+                !(s.axis == Axis::Attribute
+                    || (s.axis == Axis::SelfAxis && s.test == NodeTest::Node))
+            }),
+            Expr::Binary(_, l, r) | Expr::Union(l, r) => {
+                touches_children(l) || touches_children(r)
+            }
+            Expr::Negate(i) => touches_children(i),
+            Expr::Call(_, args) => args.iter().any(touches_children),
+            Expr::Filter { .. } => true,
+            _ => false,
+        }
+    }
+    if touches_children(e) {
+        2
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn opt(s: &str) -> String {
+        optimize(&parse(s).unwrap()).to_string()
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        assert_eq!(opt("2 * 30"), "60");
+        assert_eq!(opt("1 + 2 + 3"), "6");
+        assert_eq!(opt("10 div 4"), "2.5");
+        assert_eq!(opt("-(3 + 4)"), "-7");
+        assert_eq!(opt("17 mod 5"), "2");
+        // Division by zero stays unfolded (NaN/Infinity semantics must be
+        // preserved at runtime).
+        assert_eq!(opt("1 div 0"), "1 div 0");
+    }
+
+    #[test]
+    fn comparisons_fold_to_boolean_calls() {
+        assert_eq!(opt("2 > 1"), "true()");
+        assert_eq!(opt("2 < 1"), "false()");
+        assert_eq!(opt("'a' = 'a'"), "true()");
+        assert_eq!(opt("'a' = 'b'"), "false()");
+    }
+
+    #[test]
+    fn boolean_identities() {
+        assert_eq!(opt("true() and @x = '1'"), "@x = '1'");
+        assert_eq!(opt("@x = '1' and true()"), "@x = '1'");
+        assert_eq!(opt("false() or @x = '1'"), "@x = '1'");
+        assert_eq!(opt("false() and @x = '1'"), "false()");
+        assert_eq!(opt("true() or @x = '1'"), "true()");
+        assert_eq!(opt("not(true())"), "false()");
+        assert_eq!(opt("not(1 > 2)"), "true()");
+    }
+
+    #[test]
+    fn consistency_windows_fold() {
+        // The common generated shape `now() - 30` keeps now() (dynamic)
+        // but folds constant tolerances around it.
+        assert_eq!(opt("@timestamp > now() - (15 + 15)"), "@timestamp > now() - 30");
+    }
+
+    #[test]
+    fn string_functions_fold() {
+        assert_eq!(opt("concat('a', 'b', 'c')"), "'abc'");
+        assert_eq!(opt("string(7)"), "'7'");
+        assert_eq!(opt("number(42)"), "42");
+    }
+
+    #[test]
+    fn predicates_reorder_id_first_and_drop_true() {
+        assert_eq!(
+            opt("block[available='yes'][@id='3'][true()]"),
+            "block[@id = '3'][available = 'yes']"
+        );
+        // Semantics unchanged: conjunction is commutative here.
+    }
+
+    #[test]
+    fn folding_preserves_evaluation() {
+        let doc = sensorxml::parse(
+            r#"<a id="1"><b id="2"><price>10</price></b><b id="3"><price>30</price></b></a>"#,
+        )
+        .unwrap();
+        let root = doc.root().unwrap();
+        for q in [
+            "/a[@id='1']/b[price > 5 * 4][@id='3']",
+            "//b[2 > 1]",
+            "count(//b) = 1 + 1",
+            "//b[price = 10 + 20]",
+        ] {
+            let orig = parse(q).unwrap();
+            let opt = optimize(&orig);
+            let v1 = crate::eval::evaluate_at(&orig, &doc, crate::value::XNode::Node(root)).unwrap();
+            let v2 = crate::eval::evaluate_at(&opt, &doc, crate::value::XNode::Node(root)).unwrap();
+            assert_eq!(v1, v2, "optimization changed `{q}` -> `{opt}`");
+        }
+    }
+
+    #[test]
+    fn constness_analysis() {
+        assert!(is_constant(&parse("1 + 2").unwrap()));
+        assert!(is_constant(&parse("concat('a', 'b')").unwrap()));
+        assert!(!is_constant(&parse("now()").unwrap()));
+        assert!(!is_constant(&parse("@id").unwrap()));
+        assert!(!is_constant(&parse("$v").unwrap()));
+    }
+
+    #[test]
+    fn predicate_costs() {
+        assert_eq!(predicate_cost(&parse("@id = 'x'").unwrap()), 0);
+        assert_eq!(predicate_cost(&parse("@price > 5").unwrap()), 1);
+        assert_eq!(predicate_cost(&parse("price > 5").unwrap()), 2);
+        assert_eq!(predicate_cost(&parse("count(b) > 1").unwrap()), 2);
+    }
+}

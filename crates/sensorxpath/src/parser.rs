@@ -1,0 +1,533 @@
+//! Recursive-descent parser for the unordered fragment of XPath 1.0.
+
+use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
+use crate::error::{XPathError, XPathResult};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses an XPath expression.
+pub fn parse(input: &str) -> XPathResult<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.parse_or()?;
+    if p.pos < p.tokens.len() {
+        return Err(XPathError::syntax(
+            p.tokens[p.pos].offset,
+            "unexpected trailing tokens",
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> XPathResult<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(XPathError::syntax(self.offset(), format!("expected {what}")))
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> XPathResult<T> {
+        Err(XPathError::syntax(self.offset(), msg))
+    }
+
+    // Expr ::= OrExpr
+    fn parse_or(&mut self) -> XPathResult<Expr> {
+        let mut left = self.parse_and()?;
+        while matches!(self.peek(), Some(TokenKind::OperatorName(n)) if n == "or") {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> XPathResult<Expr> {
+        let mut left = self.parse_equality()?;
+        while matches!(self.peek(), Some(TokenKind::OperatorName(n)) if n == "and") {
+            self.bump();
+            let right = self.parse_equality()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_equality(&mut self) -> XPathResult<Expr> {
+        let mut left = self.parse_relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Eq) => BinOp::Eq,
+                Some(TokenKind::Ne) => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_relational()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational(&mut self) -> XPathResult<Expr> {
+        let mut left = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Lt) => BinOp::Lt,
+                Some(TokenKind::Le) => BinOp::Le,
+                Some(TokenKind::Gt) => BinOp::Gt,
+                Some(TokenKind::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_additive()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> XPathResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> XPathResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Multiply) => BinOp::Mul,
+                Some(TokenKind::OperatorName(n)) if n == "div" => BinOp::Div,
+                Some(TokenKind::OperatorName(n)) if n == "mod" => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> XPathResult<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            Ok(Expr::Negate(Box::new(inner)))
+        } else {
+            self.parse_union()
+        }
+    }
+
+    fn parse_union(&mut self) -> XPathResult<Expr> {
+        let mut left = self.parse_path_expr()?;
+        while self.eat(&TokenKind::Pipe) {
+            let right = self.parse_path_expr()?;
+            left = Expr::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// PathExpr ::= LocationPath | FilterExpr (('/'|'//') RelativeLocationPath)?
+    fn parse_path_expr(&mut self) -> XPathResult<Expr> {
+        if self.starts_filter_expr() {
+            let primary = self.parse_primary()?;
+            let mut predicates = Vec::new();
+            while self.peek() == Some(&TokenKind::LBracket) {
+                predicates.push(self.parse_predicate()?);
+            }
+            let mut trailing = Vec::new();
+            if self.eat(&TokenKind::DoubleSlash) {
+                trailing.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::Node,
+                    predicates: Vec::new(),
+                });
+                self.parse_relative_path_into(&mut trailing)?;
+            } else if self.eat(&TokenKind::Slash) {
+                self.parse_relative_path_into(&mut trailing)?;
+            }
+            if predicates.is_empty() && trailing.is_empty() {
+                Ok(primary)
+            } else {
+                Ok(Expr::Filter {
+                    primary: Box::new(primary),
+                    predicates,
+                    trailing,
+                })
+            }
+        } else {
+            Ok(Expr::Path(self.parse_location_path()?))
+        }
+    }
+
+    /// A primary expression starts a FilterExpr; everything else is a
+    /// location path. Node-test-like names (`text(`/`node(`) start paths.
+    fn starts_filter_expr(&self) -> bool {
+        match self.peek() {
+            Some(TokenKind::Variable(_))
+            | Some(TokenKind::LParen)
+            | Some(TokenKind::Literal(_))
+            | Some(TokenKind::Number(_)) => true,
+            Some(TokenKind::FunctionName(n)) => n != "text" && n != "node",
+            _ => false,
+        }
+    }
+
+    fn parse_primary(&mut self) -> XPathResult<Expr> {
+        match self.bump() {
+            Some(TokenKind::Variable(name)) => Ok(Expr::Var(name)),
+            Some(TokenKind::Literal(s)) => Ok(Expr::Literal(s)),
+            Some(TokenKind::Number(n)) => Ok(Expr::Number(n)),
+            Some(TokenKind::LParen) => {
+                let e = self.parse_or()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(TokenKind::FunctionName(name)) => {
+                if matches!(name.as_str(), "position" | "last") {
+                    return Err(XPathError::Ordered(format!("{name}()")));
+                }
+                self.expect(TokenKind::LParen, "`(`")?;
+                let mut args = Vec::new();
+                if self.peek() != Some(&TokenKind::RParen) {
+                    loop {
+                        args.push(self.parse_or()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(Expr::Call(name, args))
+            }
+            _ => self.err("expected a primary expression"),
+        }
+    }
+
+    fn parse_location_path(&mut self) -> XPathResult<LocationPath> {
+        let mut steps = Vec::new();
+        let absolute;
+        if self.eat(&TokenKind::DoubleSlash) {
+            absolute = true;
+            steps.push(Step {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::Node,
+                predicates: Vec::new(),
+            });
+            self.parse_relative_path_into(&mut steps)?;
+        } else if self.eat(&TokenKind::Slash) {
+            absolute = true;
+            // `/` alone selects the root.
+            if self.starts_step() {
+                self.parse_relative_path_into(&mut steps)?;
+            }
+        } else {
+            absolute = false;
+            self.parse_relative_path_into(&mut steps)?;
+        }
+        Ok(LocationPath { absolute, steps })
+    }
+
+    fn starts_step(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(
+                TokenKind::Name(_)
+                    | TokenKind::Star
+                    | TokenKind::At
+                    | TokenKind::Dot
+                    | TokenKind::DotDot
+                    | TokenKind::AxisName(_)
+            )
+        ) || matches!(self.peek(), Some(TokenKind::FunctionName(n)) if n == "text" || n == "node")
+    }
+
+    fn parse_relative_path_into(&mut self, steps: &mut Vec<Step>) -> XPathResult<()> {
+        steps.push(self.parse_step()?);
+        loop {
+            if self.eat(&TokenKind::DoubleSlash) {
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::Node,
+                    predicates: Vec::new(),
+                });
+                steps.push(self.parse_step()?);
+            } else if self.eat(&TokenKind::Slash) {
+                steps.push(self.parse_step()?);
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_step(&mut self) -> XPathResult<Step> {
+        // Abbreviations first.
+        if self.eat(&TokenKind::Dot) {
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::Node,
+                predicates: Vec::new(),
+            });
+        }
+        if self.eat(&TokenKind::DotDot) {
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::Node,
+                predicates: Vec::new(),
+            });
+        }
+        let axis = if self.eat(&TokenKind::At) {
+            Axis::Attribute
+        } else if let Some(TokenKind::AxisName(_)) = self.peek() {
+            let Some(TokenKind::AxisName(name)) = self.bump() else {
+                unreachable!()
+            };
+            match name.as_str() {
+                "child" => Axis::Child,
+                "descendant" => Axis::Descendant,
+                "descendant-or-self" => Axis::DescendantOrSelf,
+                "self" => Axis::SelfAxis,
+                "parent" => Axis::Parent,
+                "ancestor" => Axis::Ancestor,
+                "ancestor-or-self" => Axis::AncestorOrSelf,
+                "attribute" => Axis::Attribute,
+                "following" | "following-sibling" | "preceding" | "preceding-sibling" => {
+                    return Err(XPathError::Ordered(format!("{name}::")));
+                }
+                other => {
+                    return self.err(format!("unknown axis `{other}::`"));
+                }
+            }
+        } else {
+            Axis::Child
+        };
+        let test = match self.bump() {
+            Some(TokenKind::Name(n)) => NodeTest::Name(n),
+            Some(TokenKind::Star) => NodeTest::Any,
+            Some(TokenKind::FunctionName(n)) if n == "text" => {
+                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                NodeTest::Text
+            }
+            Some(TokenKind::FunctionName(n)) if n == "node" => {
+                self.expect(TokenKind::LParen, "`(`")?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                NodeTest::Node
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return self.err("expected a node test");
+            }
+        };
+        let mut predicates = Vec::new();
+        while self.peek() == Some(&TokenKind::LBracket) {
+            predicates.push(self.parse_predicate()?);
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn parse_predicate(&mut self) -> XPathResult<Expr> {
+        self.expect(TokenKind::LBracket, "`[`")?;
+        // A bare number predicate is positional — order-dependent.
+        if let (Some(TokenKind::Number(n)), Some(TokenKind::RBracket)) =
+            (self.peek(), self.peek2())
+        {
+            return Err(XPathError::Ordered(format!("positional predicate [{n}]")));
+        }
+        let e = self.parse_or()?;
+        self.expect(TokenKind::RBracket, "`]`")?;
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) {
+        let e1 = parse(s).unwrap_or_else(|err| panic!("parse `{s}`: {err}"));
+        let printed = e1.to_string();
+        let e2 = parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse `{printed}` (from `{s}`): {err}"));
+        assert_eq!(e1, e2, "roundtrip mismatch for `{s}` -> `{printed}`");
+    }
+
+    #[test]
+    fn parses_paper_query() {
+        let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
+                 /city[@id='Pittsburgh']\
+                 /neighborhood[@id='Oakland' or @id='Shadyside']\
+                 /block[@id='1']/parkingSpace[available='yes']";
+        let e = parse(q).unwrap();
+        let Expr::Path(p) = &e else { panic!("expected path") };
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 7);
+        assert_eq!(p.steps[0].predicates[0].as_id_equals(), Some("NE"));
+        assert_eq!(p.steps[4].predicates.len(), 1);
+        assert!(p.steps[4].predicates[0].as_id_equals().is_none()); // OR of ids
+        roundtrip(q);
+    }
+
+    #[test]
+    fn parses_min_price_query() {
+        let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
+                 /city[@id='Pittsburgh']/neighborhood[@id='Oakland']/block[@id='1']\
+                 /parkingSpace[not(price > ../parkingSpace/price)]";
+        let e = parse(q).unwrap();
+        roundtrip(q);
+        let Expr::Path(p) = &e else { panic!() };
+        let pred = &p.steps.last().unwrap().predicates[0];
+        let Expr::Call(name, args) = pred else { panic!("expected not(...)") };
+        assert_eq!(name, "not");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn parses_axes_and_abbreviations() {
+        roundtrip("//a");
+        roundtrip("/a//b");
+        roundtrip(".//b");
+        roundtrip("../c");
+        roundtrip("./@x");
+        roundtrip("ancestor::a/b");
+        roundtrip("descendant::x[@id='1']");
+        roundtrip("self::node()");
+        roundtrip("a/text()");
+        roundtrip("a/*/b");
+    }
+
+    #[test]
+    fn slash_alone_is_root() {
+        let e = parse("/").unwrap();
+        let Expr::Path(p) = &e else { panic!() };
+        assert!(p.absolute);
+        assert!(p.steps.is_empty());
+        roundtrip("/");
+    }
+
+    #[test]
+    fn parses_expressions() {
+        roundtrip("1 + 2 * 3");
+        roundtrip("(1 + 2) * 3");
+        roundtrip("-x");
+        roundtrip("a | b | c");
+        roundtrip("a and b or c");
+        roundtrip("@price = '0' and available = 'yes'");
+        roundtrip("count(./b/c) = 5");
+        roundtrip("concat('a', 'b', string(2))");
+        roundtrip("10 mod 3 div 2");
+        roundtrip("boolean(//city/neighborhood[@id='Oakland'])");
+        roundtrip("not(@x) and not(b)");
+        roundtrip("2 > 1");
+        roundtrip("'lit'");
+        roundtrip("$var/a[@id='2']");
+    }
+
+    #[test]
+    fn filter_expr_with_trailing_path() {
+        let e = parse("(a | b)/c").unwrap();
+        let Expr::Filter { trailing, .. } = &e else { panic!("expected filter") };
+        assert_eq!(trailing.len(), 1);
+        roundtrip("(a | b)/c");
+        roundtrip("$v//x");
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        // 8 - 4 - 2 must stay (8-4)-2 = 2, not 8-(4-2).
+        let e = parse("8 - 4 - 2").unwrap();
+        let printed = e.to_string();
+        let e2 = parse(&printed).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn ordered_constructs_rejected() {
+        assert!(matches!(parse("a[position() = 1]"), Err(XPathError::Ordered(_))));
+        assert!(matches!(parse("a[last()]"), Err(XPathError::Ordered(_))));
+        assert!(matches!(parse("a[1]"), Err(XPathError::Ordered(_))));
+        assert!(matches!(
+            parse("following-sibling::a"),
+            Err(XPathError::Ordered(_))
+        ));
+        assert!(matches!(parse("preceding::a"), Err(XPathError::Ordered(_))));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("/a[").is_err());
+        assert!(parse("/a]").is_err());
+        assert!(parse("f(a,").is_err());
+        assert!(parse("a/").is_err());
+        assert!(parse("unknown-axis::a").is_err());
+        assert!(parse("a b").is_err());
+    }
+
+    #[test]
+    fn or_inside_predicate() {
+        let e = parse("n[@id='a' or @id='b']").unwrap();
+        let Expr::Path(p) = &e else { panic!() };
+        let Expr::Binary(BinOp::Or, l, r) = &p.steps[0].predicates[0] else {
+            panic!("expected or")
+        };
+        assert_eq!(l.as_id_equals(), Some("a"));
+        assert_eq!(r.as_id_equals(), Some("b"));
+    }
+
+    #[test]
+    fn multiple_predicates_conjunction() {
+        let e = parse("parkingSpace[available='yes'][@price='0']").unwrap();
+        let Expr::Path(p) = &e else { panic!() };
+        assert_eq!(p.steps[0].predicates.len(), 2);
+        roundtrip("parkingSpace[available='yes'][@price='0']");
+    }
+
+    #[test]
+    fn consistency_predicate_shape() {
+        roundtrip("block[timestamp > now() - 30]");
+    }
+}

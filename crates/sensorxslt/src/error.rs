@@ -1,0 +1,60 @@
+//! Error types for stylesheet parsing, compilation and execution.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type XsltResult<T> = Result<T, XsltError>;
+
+/// An error raised by the XSLT layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XsltError {
+    /// The stylesheet XML was malformed.
+    Xml(sensorxml::XmlError),
+    /// An embedded XPath failed to parse or evaluate.
+    XPath(sensorxpath::XPathError),
+    /// The stylesheet structure was invalid (unknown instruction, missing
+    /// required attribute, bad pattern, ...).
+    Stylesheet(String),
+    /// An [`crate::ir::ExprSlot`] index was out of range.
+    BadSlot(usize),
+    /// Template recursion exceeded the safety limit.
+    RecursionLimit,
+}
+
+impl fmt::Display for XsltError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XsltError::Xml(e) => write!(f, "stylesheet XML error: {e}"),
+            XsltError::XPath(e) => write!(f, "embedded XPath error: {e}"),
+            XsltError::Stylesheet(msg) => write!(f, "invalid stylesheet: {msg}"),
+            XsltError::BadSlot(i) => write!(f, "expression slot {i} out of range"),
+            XsltError::RecursionLimit => write!(f, "template recursion limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for XsltError {}
+
+impl From<sensorxml::XmlError> for XsltError {
+    fn from(e: sensorxml::XmlError) -> Self {
+        XsltError::Xml(e)
+    }
+}
+
+impl From<sensorxpath::XPathError> for XsltError {
+    fn from(e: sensorxpath::XPathError) -> Self {
+        XsltError::XPath(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(XsltError::Stylesheet("x".into()).to_string().contains("invalid"));
+        assert!(XsltError::BadSlot(3).to_string().contains("3"));
+        assert!(XsltError::RecursionLimit.to_string().contains("recursion"));
+    }
+}

@@ -1,0 +1,739 @@
+//! The stylesheet executor.
+//!
+//! Execution applies templates starting from the document node in the
+//! requested mode, writing into a fresh output [`Document`]. Built-in rules
+//! mirror XSLT 1.0: unmatched elements/document recurse into children in
+//! the same mode; unmatched text copies itself to output.
+
+use sensorxml::{Document, NodeId};
+use sensorxpath::eval::{evaluate, EvalContext};
+use sensorxpath::{Expr, Value, Vars, XNode};
+
+use crate::compile::Compiled;
+use crate::error::{XsltError, XsltResult};
+use crate::ir::{AttrPart, Instruction, Pattern};
+
+/// Knobs for one execution.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Value of the `now()` extension function (query-time, for consistency
+    /// predicates). NaN if unset.
+    pub now: f64,
+    /// Mode to start in (`None` = default mode).
+    pub start_mode: Option<String>,
+    /// Template recursion limit.
+    pub max_depth: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        // Deep enough for any sensor hierarchy while staying well inside
+        // the native stack even in debug builds (each template level costs
+        // several interpreter frames).
+        ExecOptions { now: f64::NAN, start_mode: None, max_depth: 128 }
+    }
+}
+
+/// Runs a compiled stylesheet against `input` with default options.
+pub fn apply(compiled: &Compiled, input: &Document) -> XsltResult<Document> {
+    apply_with_options(compiled, input, ExecOptions::default())
+}
+
+/// Runs a compiled stylesheet against `input`.
+///
+/// The output document gets a synthetic `<result>` root so that template
+/// bodies may emit zero or many top-level nodes (the QEG post-processor
+/// unwraps it).
+pub fn apply_with_options(
+    compiled: &Compiled,
+    input: &Document,
+    options: ExecOptions,
+) -> XsltResult<Document> {
+    let (mut out, out_root) = Document::with_root("result");
+    let mut exec = Exec {
+        compiled,
+        input,
+        out: &mut out,
+        options,
+        depth: 0,
+    };
+    let start_mode = exec.options.start_mode.clone();
+    exec.apply_templates_to(&[XNode::Document], start_mode.as_deref(), out_root, &Vars::new())?;
+    Ok(out)
+}
+
+struct Exec<'a> {
+    compiled: &'a Compiled,
+    input: &'a Document,
+    out: &'a mut Document,
+    options: ExecOptions,
+    depth: usize,
+}
+
+impl Exec<'_> {
+    fn eval(&self, slot: crate::ir::ExprSlot, node: XNode, vars: &Vars) -> XsltResult<Value> {
+        let expr = self.compiled.expr(slot)?;
+        Ok(self.eval_expr(expr, node, vars)?)
+    }
+
+    fn eval_expr(&self, expr: &Expr, node: XNode, vars: &Vars) -> Result<Value, sensorxpath::XPathError> {
+        let mut ctx = EvalContext::new(self.input, node, vars);
+        ctx.now = self.options.now;
+        evaluate(expr, &ctx)
+    }
+
+    /// Selects nodes and applies the best matching template to each.
+    fn apply_templates_to(
+        &mut self,
+        nodes: &[XNode],
+        mode: Option<&str>,
+        out_parent: NodeId,
+        vars: &Vars,
+    ) -> XsltResult<()> {
+        self.depth += 1;
+        if self.depth > self.options.max_depth {
+            return Err(XsltError::RecursionLimit);
+        }
+        for &n in nodes {
+            match self.best_template(n, mode, vars)? {
+                Some(t_idx) => {
+                    let body = &self.compiled.sheet.templates[t_idx].body;
+                    self.run_body(body, n, out_parent, &mut vars.clone())?;
+                }
+                None => self.builtin_rule(n, mode, out_parent, vars)?,
+            }
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn builtin_rule(
+        &mut self,
+        n: XNode,
+        mode: Option<&str>,
+        out_parent: NodeId,
+        vars: &Vars,
+    ) -> XsltResult<()> {
+        match n {
+            XNode::Document => {
+                if let Some(r) = self.input.root() {
+                    self.apply_templates_to(&[XNode::Node(r)], mode, out_parent, vars)?;
+                }
+            }
+            XNode::Node(id) => {
+                if self.input.is_text(id) {
+                    let text = self.input.text(id).unwrap_or_default().to_string();
+                    let t = self.out.create_text(text);
+                    self.out.append_child(out_parent, t);
+                } else {
+                    let children: Vec<XNode> = self
+                        .input
+                        .children(id)
+                        .iter()
+                        .map(|&c| XNode::Node(c))
+                        .collect();
+                    self.apply_templates_to(&children, mode, out_parent, vars)?;
+                }
+            }
+            XNode::Attr(..) => {
+                let t = self.out.create_text(n.string_value(self.input));
+                self.out.append_child(out_parent, t);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds the highest-priority matching template (last declared wins
+    /// ties, as in XSLT's "last in import order").
+    fn best_template(&self, n: XNode, mode: Option<&str>, vars: &Vars) -> XsltResult<Option<usize>> {
+        let name = match n {
+            XNode::Node(id) if self.input.is_element(id) => Some(self.input.name(id)),
+            _ => None,
+        };
+        let cands = self.compiled.candidates(mode, name);
+        let mut best: Option<(f64, usize)> = None;
+        for i in cands {
+            let t = &self.compiled.sheet.templates[i];
+            if self.pattern_matches(&t.pattern, n, vars)? {
+                let p = self.compiled.priority(i);
+                let better = match best {
+                    None => true,
+                    Some((bp, bi)) => p > bp || (p == bp && i > bi),
+                };
+                if better {
+                    best = Some((p, i));
+                }
+            }
+        }
+        Ok(best.map(|(_, i)| i))
+    }
+
+    fn pattern_matches(&self, pat: &Pattern, n: XNode, vars: &Vars) -> XsltResult<bool> {
+        if pat.steps.is_empty() {
+            // Pattern `/`.
+            return Ok(pat.absolute && n == XNode::Document);
+        }
+        // Match right-to-left against the node and its ancestors.
+        let mut cur = n;
+        for (i, step) in pat.steps.iter().rev().enumerate() {
+            if i > 0 {
+                match self.parent_of(cur) {
+                    Some(p) => cur = p,
+                    None => return Ok(false),
+                }
+            }
+            if !self.step_matches(step, cur, vars)? {
+                return Ok(false);
+            }
+        }
+        if pat.absolute {
+            // The leftmost step's parent must be the document node.
+            return Ok(matches!(self.parent_of(cur), Some(XNode::Document)));
+        }
+        Ok(true)
+    }
+
+    fn parent_of(&self, n: XNode) -> Option<XNode> {
+        match n {
+            XNode::Document => None,
+            XNode::Attr(id, _) => Some(XNode::Node(id)),
+            XNode::Node(id) => match self.input.parent(id) {
+                Some(p) => Some(XNode::Node(p)),
+                None if self.input.root() == Some(id) => Some(XNode::Document),
+                None => None,
+            },
+        }
+    }
+
+    fn step_matches(
+        &self,
+        step: &crate::ir::PatternStep,
+        n: XNode,
+        vars: &Vars,
+    ) -> XsltResult<bool> {
+        use sensorxpath::NodeTest;
+        let ok = match n {
+            XNode::Document => false,
+            XNode::Attr(..) => false,
+            XNode::Node(id) => match &step.test {
+                NodeTest::Name(want) => {
+                    self.input.is_element(id) && self.input.name(id) == want
+                }
+                NodeTest::Any => self.input.is_element(id),
+                NodeTest::Text => self.input.is_text(id),
+                NodeTest::Node => true,
+            },
+        };
+        if !ok {
+            return Ok(false);
+        }
+        for &pred in &step.predicates {
+            if !self.eval(pred, n, vars)?.boolean() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    fn run_body(
+        &mut self,
+        body: &[Instruction],
+        node: XNode,
+        out_parent: NodeId,
+        vars: &mut Vars,
+    ) -> XsltResult<()> {
+        for instr in body {
+            self.run_instr(instr, node, out_parent, vars)?;
+        }
+        Ok(())
+    }
+
+    fn run_instr(
+        &mut self,
+        instr: &Instruction,
+        node: XNode,
+        out_parent: NodeId,
+        vars: &mut Vars,
+    ) -> XsltResult<()> {
+        match instr {
+            Instruction::Text(t) => {
+                let tn = self.out.create_text(t.clone());
+                self.out.append_child(out_parent, tn);
+            }
+            Instruction::ValueOf(slot) => {
+                let v = self.eval(*slot, node, vars)?;
+                let s = v.string(self.input);
+                if !s.is_empty() {
+                    let tn = self.out.create_text(s);
+                    self.out.append_child(out_parent, tn);
+                }
+            }
+            Instruction::CopyOf(slot) => {
+                let v = self.eval(*slot, node, vars)?;
+                self.copy_value(&v, out_parent)?;
+            }
+            Instruction::Copy(body) => {
+                let new = match node {
+                    XNode::Node(id) => {
+                        if self.input.is_element(id) {
+                            let e = self.out.create_element(self.input.name(id).to_string());
+                            self.out.append_child(out_parent, e);
+                            Some(e)
+                        } else {
+                            let tn = self
+                                .out
+                                .create_text(self.input.text(id).unwrap_or_default().to_string());
+                            self.out.append_child(out_parent, tn);
+                            None
+                        }
+                    }
+                    XNode::Attr(id, idx) => {
+                        let a = &self.input.attrs(id)[idx as usize];
+                        self.out.set_attr(out_parent, a.name.clone(), a.value.clone());
+                        None
+                    }
+                    XNode::Document => Some(out_parent),
+                };
+                if let Some(e) = new {
+                    self.run_body(body, node, e, &mut vars.clone())?;
+                }
+            }
+            Instruction::Element { name, attrs, body } => {
+                let e = self.out.create_element(name.clone());
+                self.out.append_child(out_parent, e);
+                for (an, av) in attrs {
+                    let val = self.attr_value(av, node, vars)?;
+                    self.out.set_attr(e, an.clone(), val);
+                }
+                self.run_body(body, node, e, &mut vars.clone())?;
+            }
+            Instruction::Attribute { name, value } => {
+                let val = self.attr_value(value, node, vars)?;
+                self.out.set_attr(out_parent, name.clone(), val);
+            }
+            Instruction::ApplyTemplates { select, mode } => {
+                let nodes: Vec<XNode> = match select {
+                    Some(slot) => {
+                        let v = self.eval(*slot, node, vars)?;
+                        match v {
+                            Value::Nodes(ns) => ns,
+                            _ => {
+                                return Err(XsltError::Stylesheet(
+                                    "apply-templates select must yield a node-set".into(),
+                                ))
+                            }
+                        }
+                    }
+                    None => match node {
+                        XNode::Node(id) => self
+                            .input
+                            .children(id)
+                            .iter()
+                            .map(|&c| XNode::Node(c))
+                            .collect(),
+                        XNode::Document => {
+                            self.input.root().map(XNode::Node).into_iter().collect()
+                        }
+                        XNode::Attr(..) => Vec::new(),
+                    },
+                };
+                self.apply_templates_to(&nodes, mode.as_deref(), out_parent, vars)?;
+            }
+            Instruction::If { test, body } => {
+                if self.eval(*test, node, vars)?.boolean() {
+                    self.run_body(body, node, out_parent, &mut vars.clone())?;
+                }
+            }
+            Instruction::Choose { branches, otherwise } => {
+                for (test, body) in branches {
+                    if self.eval(*test, node, vars)?.boolean() {
+                        return self.run_body(body, node, out_parent, &mut vars.clone());
+                    }
+                }
+                self.run_body(otherwise, node, out_parent, &mut vars.clone())?;
+            }
+            Instruction::ForEach { select, body } => {
+                let v = self.eval(*select, node, vars)?;
+                let Value::Nodes(ns) = v else {
+                    return Err(XsltError::Stylesheet(
+                        "for-each select must yield a node-set".into(),
+                    ));
+                };
+                for n in ns {
+                    self.run_body(body, n, out_parent, &mut vars.clone())?;
+                }
+            }
+            Instruction::Variable { name, select } => {
+                let v = self.eval(*select, node, vars)?;
+                vars.insert(name.clone(), v);
+            }
+        }
+        Ok(())
+    }
+
+    fn attr_value(&self, parts: &[AttrPart], node: XNode, vars: &Vars) -> XsltResult<String> {
+        let mut out = String::new();
+        for p in parts {
+            match p {
+                AttrPart::Literal(s) => out.push_str(s),
+                AttrPart::Expr(slot) => {
+                    let v = self.eval(*slot, node, vars)?;
+                    out.push_str(&v.string(self.input));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn copy_value(&mut self, v: &Value, out_parent: NodeId) -> XsltResult<()> {
+        match v {
+            Value::Nodes(ns) => {
+                for n in ns {
+                    match *n {
+                        XNode::Node(id) => {
+                            let c = self.input.deep_copy_into(id, self.out);
+                            self.out.append_child(out_parent, c);
+                        }
+                        XNode::Attr(id, idx) => {
+                            if let Some(a) = self.input.attrs(id).get(idx as usize) {
+                                self.out
+                                    .set_attr(out_parent, a.name.clone(), a.value.clone());
+                            }
+                        }
+                        XNode::Document => {
+                            if let Some(r) = self.input.root() {
+                                let c = self.input.deep_copy_into(r, self.out);
+                                self.out.append_child(out_parent, c);
+                            }
+                        }
+                    }
+                }
+            }
+            other => {
+                let s = other.string(self.input);
+                if !s.is_empty() {
+                    let t = self.out.create_text(s);
+                    self.out.append_child(out_parent, t);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::ir::{Pattern, PatternStep, Stylesheet, Template};
+    use sensorxml::{parse, serialize, unordered_eq};
+
+    fn input() -> Document {
+        parse(
+            r#"<city id="Pittsburgh">
+                 <neighborhood id="Oakland" status="owned">
+                   <block id="1"><sp id="a">yes</sp><sp id="b">no</sp></block>
+                 </neighborhood>
+                 <neighborhood id="Shadyside" status="incomplete"/>
+               </city>"#,
+        )
+        .unwrap()
+    }
+
+    fn run(sheet: Stylesheet, doc: &Document) -> Document {
+        let c = compile(sheet).unwrap();
+        apply(&c, doc).unwrap()
+    }
+
+    fn result_xml(out: &Document) -> String {
+        serialize(out, out.root().unwrap())
+    }
+
+    #[test]
+    fn builtin_rules_copy_text_through() {
+        // No templates at all: built-ins walk the tree and emit text.
+        let out = run(Stylesheet::new(), &input());
+        assert_eq!(result_xml(&out), "<result>yesno</result>");
+    }
+
+    #[test]
+    fn simple_template_with_value_of() {
+        let mut s = Stylesheet::new();
+        let sel = s.slot("@id");
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: None,
+            body: vec![
+                Instruction::Element {
+                    name: "n".into(),
+                    attrs: vec![],
+                    body: vec![Instruction::ValueOf(sel)],
+                },
+            ],
+        });
+        let out = run(s, &input());
+        assert_eq!(result_xml(&out), "<result><n>Oakland</n><n>Shadyside</n></result>");
+    }
+
+    #[test]
+    fn copy_with_copied_attrs_via_copy_of() {
+        let mut s = Stylesheet::new();
+        let attrs = s.slot("@*");
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Copy(vec![Instruction::CopyOf(attrs)])],
+        });
+        let out = run(s, &input());
+        let expected = parse(
+            r#"<result><neighborhood id="Oakland" status="owned"/><neighborhood id="Shadyside" status="incomplete"/></result>"#,
+        )
+        .unwrap();
+        assert!(unordered_eq(
+            &out,
+            out.root().unwrap(),
+            &expected,
+            expected.root().unwrap()
+        ));
+    }
+
+    #[test]
+    fn choose_on_status() {
+        let mut s = Stylesheet::new();
+        let owned = s.slot("@status = 'owned'");
+        let incomplete = s.slot("@status = 'incomplete'");
+        let idsel = s.slot("@id");
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Choose {
+                branches: vec![
+                    (
+                        owned,
+                        vec![Instruction::Element {
+                            name: "have".into(),
+                            attrs: vec![(
+                                "id".into(),
+                                vec![AttrPart::Expr(idsel)],
+                            )],
+                            body: vec![],
+                        }],
+                    ),
+                    (
+                        incomplete,
+                        vec![Instruction::Element {
+                            name: "asksubquery".into(),
+                            attrs: vec![("id".into(), vec![AttrPart::Expr(idsel)])],
+                            body: vec![],
+                        }],
+                    ),
+                ],
+                otherwise: vec![Instruction::Text("?".into())],
+            }],
+        });
+        let out = run(s, &input());
+        assert_eq!(
+            result_xml(&out),
+            r#"<result><have id="Oakland"/><asksubquery id="Shadyside"/></result>"#
+        );
+    }
+
+    #[test]
+    fn modes_route_templates() {
+        let mut s = Stylesheet::new();
+        let sel_n = s.slot("neighborhood");
+        s.add_template(Template {
+            pattern: Pattern::element("city"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::ApplyTemplates {
+                select: Some(sel_n),
+                mode: Some("deep".into()),
+            }],
+        });
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: Some("deep".into()),
+            priority: None,
+            body: vec![Instruction::Text("D".into())],
+        });
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Text("WRONG".into())],
+        });
+        let out = run(s, &input());
+        assert_eq!(result_xml(&out), "<result>DD</result>");
+    }
+
+    #[test]
+    fn for_each_and_variables() {
+        let mut s = Stylesheet::new();
+        let blocks = s.slot("neighborhood/block/sp");
+        let v = s.slot("@id");
+        let use_v = s.slot("$cur");
+        s.add_template(Template {
+            pattern: Pattern::element("city"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::ForEach {
+                select: blocks,
+                body: vec![
+                    Instruction::Variable { name: "cur".into(), select: v },
+                    Instruction::Element {
+                        name: "spot".into(),
+                        attrs: vec![("name".into(), vec![
+                            AttrPart::Literal("sp-".into()),
+                            AttrPart::Expr(use_v),
+                        ])],
+                        body: vec![],
+                    },
+                ],
+            }],
+        });
+        let out = run(s, &input());
+        assert_eq!(
+            result_xml(&out),
+            r#"<result><spot name="sp-a"/><spot name="sp-b"/></result>"#
+        );
+    }
+
+    #[test]
+    fn priority_tie_broken_by_declaration_order() {
+        let mut s = Stylesheet::new();
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Text("first".into())],
+        });
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Text("second".into())],
+        });
+        let out = run(s, &input());
+        assert_eq!(result_xml(&out), "<result>secondsecond</result>");
+    }
+
+    #[test]
+    fn explicit_priority_wins() {
+        let mut s = Stylesheet::new();
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: Some(10.0),
+            body: vec![Instruction::Text("high".into())],
+        });
+        s.add_template(Template {
+            pattern: Pattern::element("neighborhood"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Text("low".into())],
+        });
+        let out = run(s, &input());
+        assert_eq!(result_xml(&out), "<result>highhigh</result>");
+    }
+
+    #[test]
+    fn multi_step_pattern_requires_ancestry() {
+        let mut s = Stylesheet::new();
+        // Matches sp only under block.
+        s.add_template(Template {
+            pattern: Pattern {
+                absolute: false,
+                steps: vec![
+                    PatternStep {
+                        test: sensorxpath::NodeTest::Name("block".into()),
+                        predicates: vec![],
+                    },
+                    PatternStep {
+                        test: sensorxpath::NodeTest::Name("sp".into()),
+                        predicates: vec![],
+                    },
+                ],
+            },
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Text("S".into())],
+        });
+        let out = run(s, &input());
+        assert_eq!(result_xml(&out), "<result>SS</result>");
+    }
+
+    #[test]
+    fn pattern_with_predicate() {
+        let mut s = Stylesheet::new();
+        let pred = s.slot("@id = 'Oakland'");
+        s.add_template(Template {
+            pattern: Pattern {
+                absolute: false,
+                steps: vec![PatternStep {
+                    test: sensorxpath::NodeTest::Name("neighborhood".into()),
+                    predicates: vec![pred],
+                }],
+            },
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Text("O".into())],
+        });
+        let out = run(s, &input());
+        // Shadyside falls through to built-in (no text below it).
+        assert_eq!(result_xml(&out), "<result>O</result>");
+    }
+
+    #[test]
+    fn absolute_root_pattern() {
+        let mut s = Stylesheet::new();
+        s.add_template(Template {
+            pattern: Pattern::root(),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::Text("R".into())],
+        });
+        let out = run(s, &input());
+        assert_eq!(result_xml(&out), "<result>R</result>");
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        let mut s = Stylesheet::new();
+        let self_sel = s.slot(".");
+        s.add_template(Template {
+            pattern: Pattern::element("city"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::ApplyTemplates {
+                select: Some(self_sel),
+                mode: None,
+            }],
+        });
+        let c = compile(s).unwrap();
+        assert!(matches!(apply(&c, &input()), Err(XsltError::RecursionLimit)));
+    }
+
+    #[test]
+    fn now_function_threaded_through() {
+        let mut s = Stylesheet::new();
+        let test = s.slot("now() = 123");
+        s.add_template(Template {
+            pattern: Pattern::element("city"),
+            mode: None,
+            priority: None,
+            body: vec![Instruction::If { test, body: vec![Instruction::Text("T".into())] }],
+        });
+        let c = compile(s).unwrap();
+        let out = apply_with_options(
+            &c,
+            &input(),
+            ExecOptions { now: 123.0, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(result_xml(&out), "<result>T</result>");
+    }
+}

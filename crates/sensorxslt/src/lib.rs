@@ -1,0 +1,40 @@
+//! # sensorxslt
+//!
+//! A template-matching XSLT engine (a focused subset of XSLT 1.0) over
+//! [`sensorxml`] documents, with XPath provided by [`sensorxpath`].
+//!
+//! The IrisNet paper (SIGMOD 2003) evaluates XPATH queries over fragmented
+//! documents by *compiling each XPATH query into an XSLT program* and
+//! running it against the site's fragment (§3.5). Two properties of that
+//! design shape this crate:
+//!
+//! * **An explicit compile stage.** A [`Stylesheet`] is source-level IR
+//!   with every embedded XPath held as *text* in a slot table; [`compile()`](fn@crate::compile)
+//!   parses all slots and builds the template dispatch index. The paper's
+//!   §4 optimization ("Speeding up XSLT processing") precompiles a skeleton
+//!   once and then patches only the query-dependent expressions — that is
+//!   [`Compiled::patch_slots`], which reparses only the named slots.
+//! * **Supported instruction set**: `template` (match/mode/priority),
+//!   `apply-templates`, `value-of`, `copy-of`, `copy`, `element`,
+//!   `attribute` (with `{...}` value templates), `if`, `choose`/`when`/
+//!   `otherwise`, `for-each`, `variable`, and literal result elements/text.
+//!   This is exactly the vocabulary query-evaluate-gather programs need.
+//!
+//! Stylesheets can be built programmatically (the fast path) or parsed from
+//! standard `<xsl:...>` text ([`parse_stylesheet`], the naive path), and a
+//! programmatic stylesheet can be serialized back to XSLT text
+//! ([`Stylesheet::to_xml_text`]).
+
+pub mod compile;
+pub mod error;
+pub mod exec;
+pub mod ir;
+pub mod parse;
+
+pub use compile::{compile, Compiled};
+pub use error::{XsltError, XsltResult};
+pub use exec::{apply, apply_with_options, ExecOptions};
+pub use ir::{
+    AttrPart, ExprSlot, Instruction, Pattern, PatternStep, Stylesheet, Template,
+};
+pub use parse::parse_stylesheet;

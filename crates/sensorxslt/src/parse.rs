@@ -1,0 +1,355 @@
+//! Parsing textual `<xsl:...>` stylesheets into the IR.
+//!
+//! This is the **naive creation** path of the paper's Fig. 11: generating
+//! stylesheet text for each query and paying XML parse + pattern parse +
+//! XPath compile cost every time. The fast path bypasses this module
+//! entirely (programmatic IR + [`crate::Compiled::patch_slots`]).
+
+use sensorxml::{Document, NodeId, NodeKind, ParseOptions};
+use sensorxpath::{Axis, Expr};
+
+use crate::error::{XsltError, XsltResult};
+use crate::ir::{AttrPart, Instruction, Pattern, PatternStep, Stylesheet, Template};
+
+/// Parses stylesheet text into a [`Stylesheet`].
+pub fn parse_stylesheet(text: &str) -> XsltResult<Stylesheet> {
+    let doc = sensorxml::parse_with_options(
+        text,
+        ParseOptions { trim_whitespace_text: true },
+    )?;
+    let root = doc.require_root()?;
+    if doc.name(root) != "xsl:stylesheet" && doc.name(root) != "xsl:transform" {
+        return Err(XsltError::Stylesheet(format!(
+            "root element must be xsl:stylesheet, found `{}`",
+            doc.name(root)
+        )));
+    }
+    let mut sheet = Stylesheet::new();
+    for t in doc.child_elements(root) {
+        if doc.name(t) != "xsl:template" {
+            return Err(XsltError::Stylesheet(format!(
+                "expected xsl:template, found `{}`",
+                doc.name(t)
+            )));
+        }
+        let match_src = doc
+            .attr(t, "match")
+            .ok_or_else(|| XsltError::Stylesheet("xsl:template requires match".into()))?;
+        let pattern = parse_pattern(match_src, &mut sheet)?;
+        let mode = doc.attr(t, "mode").map(String::from);
+        let priority = match doc.attr(t, "priority") {
+            Some(p) => Some(p.parse::<f64>().map_err(|_| {
+                XsltError::Stylesheet(format!("bad priority `{p}`"))
+            })?),
+            None => None,
+        };
+        let body = parse_body(&doc, t, &mut sheet)?;
+        sheet.add_template(Template { pattern, mode, priority, body });
+    }
+    Ok(sheet)
+}
+
+/// Parses a match pattern (`/`, `name`, `*`, `text()`, `a/b[pred]`).
+pub fn parse_pattern(src: &str, sheet: &mut Stylesheet) -> XsltResult<Pattern> {
+    let trimmed = src.trim();
+    if trimmed == "/" {
+        return Ok(Pattern::root());
+    }
+    let expr = sensorxpath::parse(trimmed)?;
+    let Expr::Path(path) = expr else {
+        return Err(XsltError::Stylesheet(format!("`{src}` is not a pattern")));
+    };
+    let mut steps = Vec::with_capacity(path.steps.len());
+    for s in &path.steps {
+        if s.axis != Axis::Child {
+            return Err(XsltError::Stylesheet(format!(
+                "patterns support child steps only, found `{}::`",
+                s.axis.name()
+            )));
+        }
+        let predicates = s
+            .predicates
+            .iter()
+            .map(|p| sheet.slot(p.to_string()))
+            .collect();
+        steps.push(PatternStep { test: s.test.clone(), predicates });
+    }
+    Ok(Pattern { absolute: path.absolute, steps })
+}
+
+fn parse_body(doc: &Document, parent: NodeId, sheet: &mut Stylesheet) -> XsltResult<Vec<Instruction>> {
+    let mut out = Vec::new();
+    for &c in doc.children(parent) {
+        match doc.kind(c) {
+            NodeKind::Text(t) => out.push(Instruction::Text(t.clone())),
+            NodeKind::Element(_) => out.push(parse_instruction(doc, c, sheet)?),
+        }
+    }
+    Ok(out)
+}
+
+fn required_attr(doc: &Document, el: NodeId, name: &str) -> XsltResult<String> {
+    doc.attr(el, name).map(String::from).ok_or_else(|| {
+        XsltError::Stylesheet(format!("`{}` requires attribute `{name}`", doc.name(el)))
+    })
+}
+
+fn parse_instruction(doc: &Document, el: NodeId, sheet: &mut Stylesheet) -> XsltResult<Instruction> {
+    let name = doc.name(el);
+    match name {
+        "xsl:value-of" => Ok(Instruction::ValueOf(
+            sheet.slot(required_attr(doc, el, "select")?),
+        )),
+        "xsl:copy-of" => Ok(Instruction::CopyOf(
+            sheet.slot(required_attr(doc, el, "select")?),
+        )),
+        "xsl:copy" => Ok(Instruction::Copy(parse_body(doc, el, sheet)?)),
+        "xsl:apply-templates" => Ok(Instruction::ApplyTemplates {
+            select: doc.attr(el, "select").map(|s| sheet.slot(s.to_string())),
+            mode: doc.attr(el, "mode").map(String::from),
+        }),
+        "xsl:if" => Ok(Instruction::If {
+            test: sheet.slot(required_attr(doc, el, "test")?),
+            body: parse_body(doc, el, sheet)?,
+        }),
+        "xsl:choose" => {
+            let mut branches = Vec::new();
+            let mut otherwise = Vec::new();
+            for b in doc.child_elements(el) {
+                match doc.name(b) {
+                    "xsl:when" => {
+                        let test = sheet.slot(required_attr(doc, b, "test")?);
+                        branches.push((test, parse_body(doc, b, sheet)?));
+                    }
+                    "xsl:otherwise" => {
+                        otherwise = parse_body(doc, b, sheet)?;
+                    }
+                    other => {
+                        return Err(XsltError::Stylesheet(format!(
+                            "unexpected `{other}` inside xsl:choose"
+                        )))
+                    }
+                }
+            }
+            Ok(Instruction::Choose { branches, otherwise })
+        }
+        "xsl:for-each" => Ok(Instruction::ForEach {
+            select: sheet.slot(required_attr(doc, el, "select")?),
+            body: parse_body(doc, el, sheet)?,
+        }),
+        "xsl:variable" => Ok(Instruction::Variable {
+            name: required_attr(doc, el, "name")?,
+            select: sheet.slot(required_attr(doc, el, "select")?),
+        }),
+        "xsl:attribute" => {
+            let attr_name = required_attr(doc, el, "name")?;
+            // Two forms: value="AVT" (compact, used by generated sheets) or
+            // text content (standard XSLT).
+            let value = match doc.attr(el, "value") {
+                Some(v) => parse_avt(v, sheet)?,
+                None => vec![AttrPart::Literal(doc.text_content(el))],
+            };
+            Ok(Instruction::Attribute { name: attr_name, value })
+        }
+        "xsl:element" => Ok(Instruction::Element {
+            name: required_attr(doc, el, "name")?,
+            attrs: Vec::new(),
+            body: parse_body(doc, el, sheet)?,
+        }),
+        "xsl:text" => Ok(Instruction::Text(doc.text_content(el))),
+        other if other.starts_with("xsl:") => Err(XsltError::Stylesheet(format!(
+            "unsupported instruction `{other}`"
+        ))),
+        _ => {
+            // Literal result element; attributes are value templates.
+            let mut attrs = Vec::new();
+            for a in doc.attrs(el) {
+                attrs.push((a.name.clone(), parse_avt(&a.value, sheet)?));
+            }
+            Ok(Instruction::Element {
+                name: name.to_string(),
+                attrs,
+                body: parse_body(doc, el, sheet)?,
+            })
+        }
+    }
+}
+
+/// Parses an attribute value template: `{expr}` parts alternate with
+/// literal text; `{{` and `}}` escape braces.
+pub fn parse_avt(src: &str, sheet: &mut Stylesheet) -> XsltResult<Vec<AttrPart>> {
+    let mut parts = Vec::new();
+    let mut literal = String::new();
+    let mut chars = src.chars().peekable();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '{' => {
+                if chars.peek() == Some(&'{') {
+                    chars.next();
+                    literal.push('{');
+                    continue;
+                }
+                if !literal.is_empty() {
+                    parts.push(AttrPart::Literal(std::mem::take(&mut literal)));
+                }
+                let mut expr = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        closed = true;
+                        break;
+                    }
+                    expr.push(c);
+                }
+                if !closed {
+                    return Err(XsltError::Stylesheet(format!(
+                        "unterminated `{{` in value template `{src}`"
+                    )));
+                }
+                parts.push(AttrPart::Expr(sheet.slot(expr)));
+            }
+            '}' => {
+                if chars.peek() == Some(&'}') {
+                    chars.next();
+                    literal.push('}');
+                } else {
+                    return Err(XsltError::Stylesheet(format!(
+                        "stray `}}` in value template `{src}`"
+                    )));
+                }
+            }
+            c => literal.push(c),
+        }
+    }
+    if !literal.is_empty() {
+        parts.push(AttrPart::Literal(literal));
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::exec::apply;
+    use sensorxml::serialize;
+
+    #[test]
+    fn parse_and_run_textual_stylesheet() {
+        let sheet = parse_stylesheet(
+            r#"<xsl:stylesheet version="1.0">
+                 <xsl:template match="/">
+                   <answer><xsl:apply-templates select="city/neighborhood"/></answer>
+                 </xsl:template>
+                 <xsl:template match="neighborhood">
+                   <n name="{@id}"><xsl:value-of select="count(block)"/></n>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let c = compile(sheet).unwrap();
+        let input = sensorxml::parse(
+            r#"<city><neighborhood id="Oakland"><block/><block/></neighborhood><neighborhood id="Etna"/></city>"#,
+        )
+        .unwrap();
+        let out = apply(&c, &input).unwrap();
+        assert_eq!(
+            serialize(&out, out.root().unwrap()),
+            r#"<result><answer><n name="Oakland">2</n><n name="Etna">0</n></answer></result>"#
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_to_xml_text() {
+        let original = parse_stylesheet(
+            r#"<xsl:stylesheet version="1.0">
+                 <xsl:template match="a" mode="m">
+                   <xsl:choose>
+                     <xsl:when test="@s='1'"><one/></xsl:when>
+                     <xsl:otherwise><xsl:copy><xsl:copy-of select="@*"/></xsl:copy></xsl:otherwise>
+                   </xsl:choose>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let text = original.to_xml_text();
+        let reparsed = parse_stylesheet(&text).unwrap();
+        // Template structure survives (slot numbering may differ, so
+        // compare behaviourally).
+        let input = sensorxml::parse(r#"<a s="2" x="y"/>"#).unwrap();
+        let o1 = apply(&compile(original).unwrap(), &input).unwrap();
+        let o2 = apply(&compile(reparsed).unwrap(), &input).unwrap();
+        assert!(sensorxml::unordered_eq(
+            &o1,
+            o1.root().unwrap(),
+            &o2,
+            o2.root().unwrap()
+        ));
+    }
+
+    #[test]
+    fn pattern_forms() {
+        let mut s = Stylesheet::new();
+        assert_eq!(parse_pattern("/", &mut s).unwrap(), Pattern::root());
+        assert_eq!(parse_pattern("a", &mut s).unwrap(), Pattern::element("a"));
+        assert_eq!(parse_pattern("*", &mut s).unwrap(), Pattern::any_element());
+        assert_eq!(parse_pattern("text()", &mut s).unwrap(), Pattern::text());
+        let p = parse_pattern("a/b[@id='1']", &mut s).unwrap();
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[1].predicates.len(), 1);
+        // Non-child axes rejected.
+        assert!(parse_pattern("ancestor::a", &mut s).is_err());
+        assert!(parse_pattern("1 + 2", &mut s).is_err());
+    }
+
+    #[test]
+    fn avt_forms() {
+        let mut s = Stylesheet::new();
+        let parts = parse_avt("pre-{@id}-post", &mut s).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], AttrPart::Literal("pre-".into()));
+        assert!(matches!(parts[1], AttrPart::Expr(_)));
+        let esc = parse_avt("a{{b}}c", &mut s).unwrap();
+        assert_eq!(esc, vec![AttrPart::Literal("a{b}c".into())]);
+        assert!(parse_avt("{unclosed", &mut s).is_err());
+        assert!(parse_avt("stray}", &mut s).is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_structure() {
+        assert!(parse_stylesheet("<notxsl/>").is_err());
+        assert!(parse_stylesheet(
+            "<xsl:stylesheet><xsl:template/></xsl:stylesheet>"
+        )
+        .is_err());
+        assert!(parse_stylesheet(
+            "<xsl:stylesheet><xsl:template match='a'><xsl:unknown/></xsl:template></xsl:stylesheet>"
+        )
+        .is_err());
+        assert!(parse_stylesheet(
+            "<xsl:stylesheet><bogus match='a'/></xsl:stylesheet>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn xsl_attribute_and_element_forms() {
+        let sheet = parse_stylesheet(
+            r#"<xsl:stylesheet>
+                 <xsl:template match="a">
+                   <xsl:element name="wrap">
+                     <xsl:attribute name="tag" value="{@id}-v"/>
+                   </xsl:element>
+                 </xsl:template>
+               </xsl:stylesheet>"#,
+        )
+        .unwrap();
+        let c = compile(sheet).unwrap();
+        let input = sensorxml::parse(r#"<a id="7"/>"#).unwrap();
+        let out = apply(&c, &input).unwrap();
+        assert_eq!(
+            serialize(&out, out.root().unwrap()),
+            r#"<result><wrap tag="7-v"/></result>"#
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Scenario tests for the XSLT engine: QEG-shaped stylesheets, report
+//! generation, identity-style transforms, patching behaviour.
+
+use sensorxml::{parse, serialize, unordered_eq};
+use sensorxslt::{compile, parse_stylesheet, ExecOptions};
+
+fn input() -> sensorxml::Document {
+    parse(
+        r#"<city id="P" status="owned">
+             <neighborhood id="n1" status="owned">
+               <block id="1" status="owned">
+                 <parkingSpace id="1" status="owned"><available>yes</available></parkingSpace>
+                 <parkingSpace id="2" status="owned"><available>no</available></parkingSpace>
+               </block>
+               <block id="2" status="incomplete"/>
+             </neighborhood>
+             <neighborhood id="n2" status="id-complete">
+               <block id="1" status="incomplete"/>
+             </neighborhood>
+           </city>"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn qeg_like_status_walk() {
+    // A hand-written miniature of the generated QEG program: walk the
+    // hierarchy, copy ids, and emit asks for incomplete nodes.
+    let sheet = parse_stylesheet(
+        r#"<xsl:stylesheet version="1.0">
+             <xsl:template match="/"><xsl:apply-templates select="city"/></xsl:template>
+             <xsl:template match="*">
+               <xsl:choose>
+                 <xsl:when test="@status='incomplete'">
+                   <ask tag="{name()}" id="{@id}"/>
+                 </xsl:when>
+                 <xsl:otherwise>
+                   <xsl:copy>
+                     <xsl:copy-of select="@id"/>
+                     <xsl:apply-templates select="*[@status]"/>
+                   </xsl:copy>
+                 </xsl:otherwise>
+               </xsl:choose>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = sensorxslt::apply(&compile(sheet).unwrap(), &input()).unwrap();
+    let xml = serialize(&out, out.root().unwrap());
+    assert!(xml.contains(r#"<ask tag="block" id="2"/>"#));
+    assert!(xml.contains(r#"<ask tag="block" id="1"/>"#)); // under n2
+    assert!(xml.contains(r#"<parkingSpace id="1""#) || xml.contains(r#"<parkingSpace id="1"/>"#));
+}
+
+#[test]
+fn report_with_aggregates_and_for_each() {
+    let sheet = parse_stylesheet(
+        r#"<xsl:stylesheet version="1.0">
+             <xsl:template match="/">
+               <report total="{count(//parkingSpace)}">
+                 <xsl:for-each select="//neighborhood">
+                   <row id="{@id}" blocks="{count(block)}"
+                        free="{count(block/parkingSpace[available='yes'])}"/>
+                 </xsl:for-each>
+               </report>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = sensorxslt::apply(&compile(sheet).unwrap(), &input()).unwrap();
+    let xml = serialize(&out, out.root().unwrap());
+    assert!(xml.contains(r#"<report total="2">"#));
+    assert!(xml.contains(r#"<row id="n1" blocks="2" free="1"/>"#));
+    assert!(xml.contains(r#"<row id="n2" blocks="1" free="0"/>"#));
+}
+
+#[test]
+fn identity_transform_via_copy() {
+    let sheet = parse_stylesheet(
+        r#"<xsl:stylesheet version="1.0">
+             <xsl:template match="*">
+               <xsl:copy>
+                 <xsl:copy-of select="@*"/>
+                 <xsl:apply-templates/>
+               </xsl:copy>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let doc = input();
+    let out = sensorxslt::apply(&compile(sheet).unwrap(), &doc).unwrap();
+    // The <result> wrapper holds an identical copy of the input.
+    let root = out.root().unwrap();
+    let copied = out.child_elements(root).next().unwrap();
+    assert!(unordered_eq(&doc, doc.root().unwrap(), &out, copied));
+}
+
+#[test]
+fn variables_scope_within_template_body() {
+    let sheet = parse_stylesheet(
+        r#"<xsl:stylesheet version="1.0">
+             <xsl:template match="/">
+               <xsl:variable name="n" select="count(//parkingSpace)"/>
+               <out a="{$n}">
+                 <xsl:for-each select="//block[@id='1'][@status='owned']">
+                   <xsl:variable name="n" select="count(parkingSpace)"/>
+                   <inner b="{$n}"/>
+                 </xsl:for-each>
+                 <xsl:value-of select="$n"/>
+               </out>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = sensorxslt::apply(&compile(sheet).unwrap(), &input()).unwrap();
+    let xml = serialize(&out, out.root().unwrap());
+    // Outer $n = 2 everywhere outside the for-each; inner shadows with 2
+    // (block 1 has two spaces) without leaking.
+    assert!(xml.contains(r#"<out a="2">"#), "{xml}");
+    assert!(xml.contains(r#"<inner b="2"/>"#), "{xml}");
+    assert!(xml.contains("2</out>"), "{xml}");
+}
+
+#[test]
+fn patch_slots_changes_behaviour_without_recompiling_structure() {
+    let mut sheet = sensorxslt::Stylesheet::new();
+    let pred = sheet.slot("@id='1'");
+    let sel = sheet.slot("//block");
+    sheet.add_template(sensorxslt::Template {
+        pattern: sensorxslt::Pattern::root(),
+        mode: None,
+        priority: None,
+        body: vec![sensorxslt::Instruction::ForEach {
+            select: sel,
+            body: vec![sensorxslt::Instruction::If {
+                test: pred,
+                body: vec![sensorxslt::Instruction::Text("HIT;".into())],
+            }],
+        }],
+    });
+    let mut compiled = compile(sheet).unwrap();
+    let doc = input();
+    let run = |c: &sensorxslt::Compiled| {
+        let out = sensorxslt::apply(c, &doc).unwrap();
+        serialize(&out, out.root().unwrap())
+    };
+    assert_eq!(run(&compiled).matches("HIT;").count(), 2); // blocks id=1 twice
+    compiled.patch_slots(&[(pred, "@id='2'".to_string())]).unwrap();
+    assert_eq!(run(&compiled).matches("HIT;").count(), 1);
+    compiled.patch_slots(&[(pred, "true()".to_string())]).unwrap();
+    assert_eq!(run(&compiled).matches("HIT;").count(), 3);
+}
+
+#[test]
+fn start_mode_selects_template_family() {
+    let sheet = parse_stylesheet(
+        r#"<xsl:stylesheet version="1.0">
+             <xsl:template match="*" mode="a"><xsl:text>A</xsl:text></xsl:template>
+             <xsl:template match="*" mode="b"><xsl:text>B</xsl:text></xsl:template>
+             <xsl:template match="*">default</xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let compiled = compile(sheet).unwrap();
+    let doc = input();
+    for (mode, want) in [(Some("a"), "A"), (Some("b"), "B"), (None, "default")] {
+        let out = sensorxslt::apply_with_options(
+            &compiled,
+            &doc,
+            ExecOptions { start_mode: mode.map(String::from), ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(serialize(&out, out.root().unwrap()), format!("<result>{want}</result>"));
+    }
+}
+
+#[test]
+fn now_function_in_generated_tests() {
+    let sheet = parse_stylesheet(
+        r#"<xsl:stylesheet version="1.0">
+             <xsl:template match="/">
+               <xsl:for-each select="//parkingSpace">
+                 <xsl:if test="now() > 100"><fresh id="{@id}"/></xsl:if>
+               </xsl:for-each>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let compiled = compile(sheet).unwrap();
+    let doc = input();
+    let out = sensorxslt::apply_with_options(
+        &compiled,
+        &doc,
+        ExecOptions { now: 150.0, ..ExecOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(serialize(&out, out.root().unwrap()).matches("<fresh").count(), 2);
+    let out2 = sensorxslt::apply_with_options(
+        &compiled,
+        &doc,
+        ExecOptions { now: 50.0, ..ExecOptions::default() },
+    )
+    .unwrap();
+    assert_eq!(serialize(&out2, out2.root().unwrap()), "<result/>");
+}

@@ -1,0 +1,626 @@
+//! The discrete-event cluster simulator.
+//!
+//! Each site is a FIFO CPU queue in front of a real
+//! [`OrganizingAgent`]; handling a message *actually runs* the agent (so
+//! answers are bit-for-bit what the live system produces) while virtual
+//! time advances by a [`CostModel`] service time. Throughput and latency
+//! therefore reflect queueing and placement — the effects the paper's
+//! Figs. 7–10 measure — independent of the host machine's speed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use irisdns::{AuthoritativeDns, CachingResolver, SiteAddr};
+use irisnet_core::{Endpoint, Message, OrganizingAgent, Outbound, QueryId};
+
+use crate::trace::Trace;
+
+/// Service-time model, calibratable against the live cluster.
+///
+/// The cost of handling a message is
+/// `msg_overhead + fixed(type) + measured_cpu * cpu_scale`, where
+/// `measured_cpu` is the wall time the real handler took on the host. With
+/// `cpu_scale = 0` the model is fully deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// One-way network latency between any two sites (seconds).
+    pub net_latency: f64,
+    /// Per-message CPU for constructing/deconstructing messages — the
+    /// dominant "communication" cost in the paper's Fig. 11.
+    pub msg_overhead: f64,
+    /// Fixed CPU per query-bearing message (query/subquery/subanswer).
+    pub query_cpu: f64,
+    /// Fixed CPU per sensor update (the paper's single-OA limit of ~200
+    /// updates/s corresponds to 5 ms).
+    pub update_cpu: f64,
+    /// Multiplier applied to measured host CPU (models the 2 GHz P4 + Java
+    /// 1.3 engine relative to this host; 0 = ignore host timing).
+    pub cpu_scale: f64,
+    /// Extra latency per delegation hop of a cold DNS lookup.
+    pub dns_hop_latency: f64,
+    /// CPU seconds per 1000 stored document nodes charged to each
+    /// query-bearing message. Models engines whose template matching scans
+    /// the whole site document (the paper's Xalan/Java prototype); 0 for a
+    /// size-independent engine.
+    pub doc_scan_cpu: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            net_latency: 0.001,
+            msg_overhead: 0.010,
+            query_cpu: 0.020,
+            update_cpu: 0.005,
+            cpu_scale: 0.0,
+            dns_hop_latency: 0.005,
+            doc_scan_cpu: 0.0,
+        }
+    }
+}
+
+impl CostModel {
+    fn service_time(&self, msg: &Message, measured_cpu: f64, doc_nodes: usize) -> f64 {
+        let (fixed, scans_doc) = match msg {
+            Message::UserQuery { .. } | Message::SubQuery { .. } => (self.query_cpu, true),
+            // Subquery answers cost message handling plus the measured
+            // merge/re-evaluate CPU (the re-run scans the document too).
+            Message::SubAnswer { .. } => (0.0, true),
+            Message::Update { .. } => (self.update_cpu, false),
+            _ => (0.0, false),
+        };
+        let scan = if scans_doc {
+            self.doc_scan_cpu * doc_nodes as f64 / 1000.0
+        } else {
+            0.0
+        };
+        self.msg_overhead + fixed + scan + measured_cpu * self.cpu_scale
+    }
+}
+
+/// One completed user query.
+#[derive(Debug, Clone)]
+pub struct ReplyRecord {
+    pub endpoint: Endpoint,
+    pub qid: QueryId,
+    pub posed_at: f64,
+    pub completed_at: f64,
+    pub ok: bool,
+    pub answer_len: usize,
+}
+
+/// A closed-loop client population: each client poses one query, waits for
+/// the answer, thinks, and poses the next.
+pub struct ClientLoad {
+    pub clients: usize,
+    pub think_time: f64,
+    /// Generates the next query text; called with a global sequence number.
+    pub query_gen: Box<dyn FnMut(u64) -> String>,
+}
+
+#[derive(Debug)]
+enum Payload {
+    /// Deliver a message to a site.
+    ToSite(SiteAddr, Message),
+    /// A user reply arriving back at the client hub.
+    ToClient(Endpoint, QueryId, String, bool),
+    /// A closed-loop client (re)starts and poses its next query.
+    ClientPose(usize),
+}
+
+struct Event {
+    at: f64,
+    seq: u64,
+    payload: Payload,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .partial_cmp(&other.at)
+            .expect("event times are finite")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct Site {
+    oa: OrganizingAgent,
+    busy_until: f64,
+    /// CPU-seconds consumed (for utilization reporting).
+    busy_time: f64,
+}
+
+struct ClientState {
+    outstanding: HashMap<QueryId, f64>,
+    next_qid: QueryId,
+}
+
+/// The simulator.
+pub struct DesCluster {
+    sites: HashMap<SiteAddr, Site>,
+    pub dns: AuthoritativeDns,
+    client_resolver: CachingResolver,
+    costs: CostModel,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: f64,
+    clients: Vec<ClientState>,
+    load: Option<ClientLoad>,
+    replies: Vec<ReplyRecord>,
+    /// Events processed (debug/guard).
+    pub events_processed: u64,
+    /// When set, client queries bypass DNS routing and always go to this
+    /// site — the "centralized querying" architectures (i) and (ii) of
+    /// Fig. 6, where a central server is the sole repository of the
+    /// node-to-site mapping.
+    pub route_override: Option<SiteAddr>,
+    /// Service-completion times of sensor updates (capacity accounting:
+    /// an update scheduled before `t_end` may finish after it).
+    pub update_completions: Vec<f64>,
+    /// Answers addressed to endpoints with no registered closed-loop
+    /// client (queries injected via [`DesCluster::schedule_message`]).
+    unclaimed_replies: Vec<String>,
+    /// Per-site, per-message-class flight recorder.
+    pub trace: Trace,
+    /// Per-link one-way latencies (symmetric); anything not listed uses
+    /// `CostModel::net_latency`. Models wide-area topologies where some
+    /// sites are thousands of miles apart (paper §7).
+    link_latency: HashMap<(SiteAddr, SiteAddr), f64>,
+}
+
+impl DesCluster {
+    /// Creates an empty cluster with the given cost model.
+    pub fn new(costs: CostModel) -> DesCluster {
+        DesCluster {
+            sites: HashMap::new(),
+            dns: AuthoritativeDns::new(),
+            client_resolver: CachingResolver::new(3600.0),
+            costs,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            clients: Vec::new(),
+            load: None,
+            replies: Vec::new(),
+            events_processed: 0,
+            route_override: None,
+            update_completions: Vec::new(),
+            unclaimed_replies: Vec::new(),
+            trace: Trace::new(),
+            link_latency: HashMap::new(),
+        }
+    }
+
+    /// Adds a site; its address must be unique.
+    pub fn add_site(&mut self, oa: OrganizingAgent) {
+        let addr = oa.addr;
+        let prev = self.sites.insert(addr, Site { oa, busy_until: 0.0, busy_time: 0.0 });
+        assert!(prev.is_none(), "duplicate site address {addr:?}");
+    }
+
+    /// Access a site's agent (e.g. to inspect stats after a run).
+    pub fn site(&self, addr: SiteAddr) -> Option<&OrganizingAgent> {
+        self.sites.get(&addr).map(|s| &s.oa)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Completed user queries.
+    pub fn replies(&self) -> &[ReplyRecord] {
+        &self.replies
+    }
+
+    /// Drains answers addressed to endpoints without a registered client —
+    /// the return channel for queries injected via
+    /// [`DesCluster::schedule_message`].
+    pub fn take_unclaimed_replies(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.unclaimed_replies)
+    }
+
+    /// CPU utilization per site over `[0, horizon]`.
+    pub fn utilization(&self, horizon: f64) -> Vec<(SiteAddr, f64)> {
+        let mut v: Vec<(SiteAddr, f64)> = self
+            .sites
+            .iter()
+            .map(|(&a, s)| (a, s.busy_time / horizon))
+            .collect();
+        v.sort_by_key(|(a, _)| *a);
+        v
+    }
+
+    fn push(&mut self, at: f64, payload: Payload) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, payload }));
+    }
+
+    /// Schedules a raw message delivery (admin traffic, SA updates, ...).
+    pub fn schedule_message(&mut self, at: f64, to: SiteAddr, msg: Message) {
+        self.push(at, Payload::ToSite(to, msg));
+    }
+
+    /// Sets the TTL of the *client-side* DNS cache (default: effectively
+    /// infinite). Shorter TTLs let clients pick up ownership migrations,
+    /// as in §5.4.
+    pub fn set_client_dns_ttl(&mut self, ttl_seconds: f64) {
+        self.client_resolver = CachingResolver::new(ttl_seconds);
+    }
+
+    /// Sets a symmetric one-way latency for the link between two sites
+    /// (wide-area topologies); unlisted links use the cost model default.
+    pub fn set_link_latency(&mut self, a: SiteAddr, b: SiteAddr, secs: f64) {
+        self.link_latency.insert((a, b), secs);
+        self.link_latency.insert((b, a), secs);
+    }
+
+    fn latency_between(&self, from: SiteAddr, to: SiteAddr) -> f64 {
+        self.link_latency
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.costs.net_latency)
+    }
+
+    /// Installs a closed-loop client population starting at t=0.
+    pub fn set_client_load(&mut self, load: ClientLoad) {
+        for i in 0..load.clients {
+            self.clients.push(ClientState { outstanding: HashMap::new(), next_qid: 1 });
+            self.push(0.0, Payload::ClientPose(i));
+        }
+        self.load = Some(load);
+    }
+
+    /// Runs until the event queue drains or virtual time passes `t_end`.
+    pub fn run_until(&mut self, t_end: f64) {
+        while let Some(Reverse(head)) = self.events.peek() {
+            if head.at > t_end {
+                break;
+            }
+            let Some(Reverse(ev)) = self.events.pop() else { break };
+            self.now = ev.at;
+            self.events_processed += 1;
+            match ev.payload {
+                Payload::ToSite(addr, msg) => self.deliver(addr, msg),
+                Payload::ToClient(endpoint, qid, answer_xml, ok) => {
+                    self.on_reply(endpoint, qid, answer_xml, ok);
+                }
+                Payload::ClientPose(i) => self.client_pose(i),
+            }
+        }
+    }
+
+    fn deliver(&mut self, addr: SiteAddr, msg: Message) {
+        let Some(site) = self.sites.get_mut(&addr) else { return };
+        let start = self.now.max(site.busy_until);
+        let doc_nodes = site.oa.db.doc().arena_len();
+        let t0 = Instant::now();
+        let outs = site.oa.handle(msg.clone(), &mut self.dns, start);
+        let measured = t0.elapsed().as_secs_f64();
+        let service = self.costs.service_time(&msg, measured, doc_nodes);
+        site.busy_until = start + service;
+        site.busy_time += service;
+        let done = site.busy_until;
+        self.trace.record(addr, &msg, service);
+        if matches!(msg, Message::Update { .. }) {
+            self.update_completions.push(done);
+        }
+        for o in outs {
+            match o {
+                Outbound::Send { to, msg } => {
+                    let lat = self.latency_between(addr, to);
+                    self.push(done + lat, Payload::ToSite(to, msg));
+                }
+                Outbound::ReplyUser { endpoint, qid, answer_xml, ok } => {
+                    self.push(
+                        done + self.costs.net_latency,
+                        Payload::ToClient(endpoint, qid, answer_xml, ok),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_reply(&mut self, endpoint: Endpoint, qid: QueryId, answer_xml: String, ok: bool) {
+        let idx = endpoint.0 as usize;
+        let Some(client) = self.clients.get_mut(idx) else {
+            self.unclaimed_replies.push(answer_xml);
+            return;
+        };
+        let Some(posed_at) = client.outstanding.remove(&qid) else {
+            self.unclaimed_replies.push(answer_xml);
+            return;
+        };
+        let answer_len = answer_xml.len();
+        self.replies.push(ReplyRecord {
+            endpoint,
+            qid,
+            posed_at,
+            completed_at: self.now,
+            ok,
+            answer_len,
+        });
+        let think = self.load.as_ref().map(|l| l.think_time);
+        if let Some(t) = think {
+            let next_at = self.now + t;
+            self.push(next_at, Payload::ClientPose(idx));
+        }
+    }
+
+    fn client_pose(&mut self, idx: usize) {
+        let Some(load) = self.load.as_mut() else { return };
+        let text = (load.query_gen)(self.seq);
+        let client = &mut self.clients[idx];
+        let qid = client.next_qid;
+        client.next_qid += 1;
+        client.outstanding.insert(qid, self.now);
+
+        // Self-starting routing: extract the LCA name from the query text,
+        // resolve it, and send the query straight to that site.
+        let (send_at, target) = match self.route(&text) {
+            Some(x) => x,
+            None => {
+                // Unroutable query: complete immediately as a failure so
+                // the closed loop keeps going.
+                self.replies.push(ReplyRecord {
+                    endpoint: Endpoint(idx as u64),
+                    qid,
+                    posed_at: self.now,
+                    completed_at: self.now,
+                    ok: false,
+                    answer_len: 0,
+                });
+                self.clients[idx].outstanding.clear();
+                let think = self.load.as_ref().map(|l| l.think_time).unwrap_or(0.0);
+                let at = self.now + think;
+                self.push(at, Payload::ClientPose(idx));
+                return;
+            }
+        };
+        self.push(
+            send_at,
+            Payload::ToSite(
+                target,
+                Message::UserQuery { qid, text, endpoint: Endpoint(idx as u64) },
+            ),
+        );
+    }
+
+    fn route(&mut self, text: &str) -> Option<(f64, SiteAddr)> {
+        if let Some(central) = self.route_override {
+            return Some((self.now + self.costs.net_latency, central));
+        }
+        // The service is the same for all sites; borrow it from any.
+        let service = self.sites.values().next()?.oa.service.clone();
+        let (_, _, name) = irisnet_core::routing::route_query(text, &service).ok()?;
+        let outcome = self.client_resolver.resolve(&name, &self.dns, self.now)?;
+        let lookup_latency = outcome.hops as f64 * self.costs.dns_hop_latency;
+        Some((self.now + lookup_latency + self.costs.net_latency, outcome.addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irisnet_core::{IdPath, OaConfig, Service};
+
+    fn master() -> sensorxml::Document {
+        sensorxml::parse(
+            r#"<usRegion id="NE"><state id="PA"><county id="A"><city id="P">
+                 <neighborhood id="Oakland">
+                   <block id="1"><parkingSpace id="1"><available>yes</available></parkingSpace></block>
+                 </neighborhood>
+                 <neighborhood id="Shadyside">
+                   <block id="1"><parkingSpace id="1"><available>no</available></parkingSpace></block>
+                 </neighborhood>
+               </city></county></state></usRegion>"#,
+        )
+        .unwrap()
+    }
+
+    fn two_site_cluster() -> DesCluster {
+        let svc = Service::parking();
+        let mut sim = DesCluster::new(CostModel::default());
+        let root = IdPath::from_pairs([("usRegion", "NE")]);
+        let pgh = root
+            .child("state", "PA")
+            .child("county", "A")
+            .child("city", "P");
+        // Site 1 owns everything except Shadyside, which lives on site 2.
+        let mut oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa1.db.bootstrap_owned(&master(), &root, true).unwrap();
+        // Carve Shadyside out by delegating at setup time: simplest is to
+        // bootstrap site 2 and flip statuses via the migration handshake.
+        let mut oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
+        oa2.db
+            .bootstrap_owned(&master(), &pgh.child("neighborhood", "Shadyside"), true)
+            .unwrap();
+        sim.dns.register(&svc.dns_name(&root), SiteAddr(1));
+        sim.dns
+            .register(&svc.dns_name(&pgh.child("neighborhood", "Shadyside")), SiteAddr(2));
+        // Site 1 must genuinely lack Shadyside: demote and evict it so
+        // only the ID stub remains.
+        let shady = pgh.child("neighborhood", "Shadyside");
+        oa1.db
+            .set_status_subtree(&shady, irisnet_core::Status::Complete)
+            .unwrap();
+        oa1.db.evict(&shady).unwrap();
+        sim.add_site(oa1);
+        sim.add_site(oa2);
+        sim
+    }
+
+    const Q_BOTH: &str = "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']\
+        /neighborhood[@id='Oakland' or @id='Shadyside']/block[@id='1']/parkingSpace";
+
+    #[test]
+    fn closed_loop_clients_complete_queries() {
+        let mut sim = two_site_cluster();
+        sim.set_client_load(ClientLoad {
+            clients: 2,
+            think_time: 0.0,
+            query_gen: Box::new(|_| Q_BOTH.to_string()),
+        });
+        sim.run_until(10.0);
+        assert!(sim.replies().len() > 10, "got {} replies", sim.replies().len());
+        assert!(sim.replies().iter().all(|r| r.ok));
+        // Latency is sane: positive, bounded by the run.
+        for r in sim.replies() {
+            assert!(r.completed_at > r.posed_at);
+            assert!(r.completed_at - r.posed_at < 5.0);
+        }
+    }
+
+    #[test]
+    fn distributed_query_gathers_across_sites() {
+        let mut sim = two_site_cluster();
+        sim.set_client_load(ClientLoad {
+            clients: 1,
+            think_time: 1000.0, // effectively one query
+            query_gen: Box::new(|_| Q_BOTH.to_string()),
+        });
+        sim.run_until(50.0);
+        assert_eq!(sim.replies().len(), 1);
+        let r = &sim.replies()[0];
+        assert!(r.ok);
+        // Answer contains both parking spaces (two subtrees).
+        assert!(r.answer_len > 0);
+        // Site 1 asked site 2 for Shadyside.
+        assert!(sim.site(SiteAddr(1)).unwrap().stats.subqueries_sent >= 1);
+        assert!(sim.site(SiteAddr(2)).unwrap().stats.subqueries_handled >= 1);
+    }
+
+    #[test]
+    fn second_query_hits_cache() {
+        let mut sim = two_site_cluster();
+        sim.set_client_load(ClientLoad {
+            clients: 1,
+            think_time: 1.0,
+            query_gen: Box::new(|_| Q_BOTH.to_string()),
+        });
+        sim.run_until(20.0);
+        let s1 = sim.site(SiteAddr(1)).unwrap();
+        // Shadyside was fetched once, then served from cache: exactly one
+        // subquery despite many queries.
+        assert!(s1.stats.user_queries > 3);
+        assert_eq!(s1.stats.subqueries_sent, 1);
+        assert!(s1.stats.answered_locally >= s1.stats.user_queries - 1);
+    }
+
+    #[test]
+    fn updates_are_charged_update_cpu() {
+        let svc = Service::parking();
+        let mut sim = DesCluster::new(CostModel::default());
+        let root = IdPath::from_pairs([("usRegion", "NE")]);
+        let mut oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+        sim.dns.register(&svc.dns_name(&root), SiteAddr(1));
+        sim.add_site(oa);
+        let sp = root
+            .child("state", "PA")
+            .child("county", "A")
+            .child("city", "P")
+            .child("neighborhood", "Oakland")
+            .child("block", "1")
+            .child("parkingSpace", "1");
+        for i in 0..100 {
+            sim.schedule_message(
+                i as f64 * 0.001,
+                SiteAddr(1),
+                Message::Update {
+                    path: sp.clone(),
+                    fields: vec![("available".into(), "no".into())],
+                },
+            );
+        }
+        sim.run_until(100.0);
+        let oa = sim.site(SiteAddr(1)).unwrap();
+        assert_eq!(oa.stats.updates_applied, 100);
+        // 100 updates at (update_cpu + msg_overhead) each.
+        let u = sim.utilization(100.0);
+        assert!(u[0].1 > 0.014 && u[0].1 < 0.016, "utilization {}", u[0].1);
+    }
+
+    #[test]
+    fn trace_records_message_flow() {
+        let mut sim = two_site_cluster();
+        sim.set_client_load(ClientLoad {
+            clients: 1,
+            think_time: 1000.0,
+            query_gen: Box::new(|_| Q_BOTH.to_string()),
+        });
+        sim.run_until(50.0);
+        use crate::trace::MsgClass;
+        assert_eq!(sim.trace.total_of(MsgClass::UserQuery), 1);
+        assert!(sim.trace.total_of(MsgClass::SubQuery) >= 1);
+        assert!(sim.trace.total_of(MsgClass::SubAnswer) >= 1);
+        // The gathering site did the most work.
+        let (bottleneck, busy) = sim.trace.bottleneck().unwrap();
+        assert_eq!(bottleneck, SiteAddr(1));
+        assert!(busy > 0.0);
+        // The printable table renders.
+        assert!(sim.trace.to_string().contains("user-query"));
+    }
+
+    #[test]
+    fn link_latency_shapes_query_latency() {
+        let run = |wan: Option<f64>| {
+            let mut sim = two_site_cluster();
+            if let Some(l) = wan {
+                sim.set_link_latency(SiteAddr(1), SiteAddr(2), l);
+            }
+            sim.set_client_load(ClientLoad {
+                clients: 1,
+                think_time: 1000.0,
+                query_gen: Box::new(|_| Q_BOTH.to_string()),
+            });
+            sim.run_until(50.0);
+            let r = &sim.replies()[0];
+            r.completed_at - r.posed_at
+        };
+        let lan = run(None);
+        let wan = run(Some(0.1));
+        // The gather crosses the 1↔2 link at least twice (subquery +
+        // answer): the WAN run must be at least ~0.2 s slower.
+        assert!(wan > lan + 0.19, "lan {lan}, wan {wan}");
+    }
+
+    #[test]
+    fn deterministic_with_zero_cpu_scale() {
+        let run = || {
+            let mut sim = two_site_cluster();
+            sim.set_client_load(ClientLoad {
+                clients: 3,
+                think_time: 0.01,
+                query_gen: Box::new(|s| {
+                    if s % 2 == 0 {
+                        Q_BOTH.to_string()
+                    } else {
+                        "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']\
+                         /neighborhood[@id='Oakland']/block[@id='1']/parkingSpace"
+                            .to_string()
+                    }
+                }),
+            });
+            sim.run_until(5.0);
+            sim.replies()
+                .iter()
+                .map(|r| (r.endpoint.0, r.qid, r.completed_at.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

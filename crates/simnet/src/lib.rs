@@ -1,0 +1,26 @@
+//! # simnet
+//!
+//! Cluster substrates for the wide area sensor database. Both drive the
+//! same [`irisnet_core::OrganizingAgent`] state machine:
+//!
+//! * [`live`] — a **live cluster**: one thread per site, crossbeam channels
+//!   as the network, a shared authoritative DNS, wall-clock time. Used by
+//!   the examples and the micro-benchmarks (real engine latencies,
+//!   Fig. 11).
+//! * [`des`] — a **discrete-event simulator**: virtual clock, per-site FIFO
+//!   CPU queues with a calibratable [`des::CostModel`], deterministic
+//!   message ordering. Used by the throughput/load-balancing/caching
+//!   experiments (Figs. 7–10), where the quantity of interest is queueing
+//!   and placement, not raw engine speed.
+//! * [`metrics`] — throughput windows and latency percentiles shared by
+//!   both.
+
+pub mod des;
+pub mod live;
+pub mod metrics;
+pub mod trace;
+
+pub use des::{ClientLoad, CostModel, DesCluster, ReplyRecord};
+pub use live::{LiveCluster, LiveReply};
+pub use metrics::{latency_percentiles, throughput_series, Percentiles};
+pub use trace::{MsgClass, Trace};

@@ -1,0 +1,327 @@
+//! The live cluster: one OS thread per site, crossbeam channels as the
+//! network, shared authoritative DNS, wall-clock time.
+//!
+//! This substrate runs the *entire* real code path end to end — DNS
+//! routing, QEG compilation and execution, wire (de)serialization — and is
+//! what the examples and the Fig. 11 micro-benchmarks use.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use irisdns::{AuthoritativeDns, CachingResolver, SiteAddr};
+use irisnet_core::{
+    Endpoint, IdPath, Message, OrganizingAgent, Outbound, QueryId, Service,
+};
+use parking_lot::Mutex;
+
+/// The `(query id, answer XML, ok)` tuples pushed back to clients.
+pub type ReplyTuple = (QueryId, String, bool);
+
+/// A completed user query, as seen by the posing client.
+#[derive(Debug, Clone)]
+pub struct LiveReply {
+    pub qid: QueryId,
+    pub answer_xml: String,
+    pub ok: bool,
+    pub latency: Duration,
+}
+
+enum Envelope {
+    Msg(Message),
+    Stop,
+}
+
+struct SiteHandle {
+    tx: Sender<Envelope>,
+    join: JoinHandle<OrganizingAgent>,
+}
+
+/// A running cluster of organizing-agent threads.
+pub struct LiveCluster {
+    service: Arc<Service>,
+    dns: Arc<Mutex<AuthoritativeDns>>,
+    sites: HashMap<SiteAddr, SiteHandle>,
+    senders: Arc<Mutex<HashMap<SiteAddr, Sender<Envelope>>>>,
+    replies: Arc<Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>>,
+    epoch: Instant,
+    next_endpoint: u64,
+    next_qid: u64,
+    client_resolver: CachingResolver,
+}
+
+impl LiveCluster {
+    /// Creates an empty cluster for `service`.
+    pub fn new(service: Arc<Service>) -> LiveCluster {
+        LiveCluster {
+            service,
+            dns: Arc::new(Mutex::new(AuthoritativeDns::new())),
+            sites: HashMap::new(),
+            senders: Arc::new(Mutex::new(HashMap::new())),
+            replies: Arc::new(Mutex::new(HashMap::new())),
+            epoch: Instant::now(),
+            next_endpoint: 0,
+            next_qid: 1,
+            client_resolver: CachingResolver::new(3600.0),
+        }
+    }
+
+    /// The shared authoritative DNS (for registrations during setup).
+    pub fn dns(&self) -> &Arc<Mutex<AuthoritativeDns>> {
+        &self.dns
+    }
+
+    /// Registers `path → addr` in DNS (setup convenience).
+    pub fn register_owner(&self, path: &IdPath, addr: SiteAddr) {
+        let name = self.service.dns_name(path);
+        self.dns.lock().register(&name, addr);
+    }
+
+    /// Spawns a site thread around an agent.
+    pub fn add_site(&mut self, oa: OrganizingAgent) {
+        let addr = oa.addr;
+        let (tx, rx) = unbounded::<Envelope>();
+        self.senders.lock().insert(addr, tx.clone());
+        let dns = self.dns.clone();
+        let senders = self.senders.clone();
+        let replies = self.replies.clone();
+        let epoch = self.epoch;
+        let join = std::thread::Builder::new()
+            .name(format!("oa-{}", addr.0))
+            .spawn(move || site_loop(oa, rx, dns, senders, replies, epoch))
+            .expect("spawn site thread");
+        self.sites.insert(addr, SiteHandle { tx, join });
+    }
+
+    /// Sends a raw message to a site (SA updates, admin delegations).
+    pub fn send(&self, to: SiteAddr, msg: Message) {
+        if let Some(tx) = self.senders.lock().get(&to) {
+            let _ = tx.send(Envelope::Msg(msg));
+        }
+    }
+
+    /// Poses a query using self-starting routing (LCA extraction + DNS) and
+    /// blocks for the answer.
+    pub fn pose_query(&mut self, text: &str, timeout: Duration) -> Option<LiveReply> {
+        let (_, _, name) =
+            irisnet_core::routing::route_query(text, &self.service).ok()?;
+        let now = self.epoch.elapsed().as_secs_f64();
+        let target = {
+            let dns = self.dns.lock();
+            self.client_resolver.resolve(&name, &dns, now)?.addr
+        };
+        self.pose_query_at(text, target, timeout)
+    }
+
+    /// Poses a query to an explicit site (used by the micro-benchmarks to
+    /// route "higher up" than the LCA, as in Fig. 11).
+    pub fn pose_query_at(
+        &mut self,
+        text: &str,
+        target: SiteAddr,
+        timeout: Duration,
+    ) -> Option<LiveReply> {
+        let endpoint = Endpoint(self.next_endpoint);
+        self.next_endpoint += 1;
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let (rtx, rrx) = unbounded();
+        self.replies.lock().insert(endpoint, rtx);
+        let posed = Instant::now();
+        self.send(
+            target,
+            Message::UserQuery { qid, text: text.to_string(), endpoint },
+        );
+        let got = rrx.recv_timeout(timeout).ok();
+        self.replies.lock().remove(&endpoint);
+        got.map(|(qid, answer_xml, ok)| LiveReply {
+            qid,
+            answer_xml,
+            ok,
+            latency: posed.elapsed(),
+        })
+    }
+
+    /// Registers a continuous query at `site` and returns the stream of
+    /// pushed answers: the initial snapshot first, then one message per
+    /// change (§7). Dropping the receiver simply discards further pushes;
+    /// send an `Unsubscribe` to stop them at the source.
+    pub fn subscribe(
+        &mut self,
+        site: SiteAddr,
+        text: &str,
+    ) -> (QueryId, Receiver<ReplyTuple>) {
+        let endpoint = Endpoint(self.next_endpoint);
+        self.next_endpoint += 1;
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let (tx, rx) = unbounded();
+        self.replies.lock().insert(endpoint, tx);
+        self.send(
+            site,
+            Message::Subscribe { qid, text: text.to_string(), endpoint },
+        );
+        (qid, rx)
+    }
+
+    /// Stops all site threads and returns the agents (with their stats).
+    pub fn shutdown(mut self) -> Vec<OrganizingAgent> {
+        let handles: Vec<SiteHandle> = self.sites.drain().map(|(_, h)| h).collect();
+        for h in &handles {
+            let _ = h.tx.send(Envelope::Stop);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join.join().expect("site thread panicked"))
+            .collect()
+    }
+}
+
+fn site_loop(
+    mut oa: OrganizingAgent,
+    rx: Receiver<Envelope>,
+    dns: Arc<Mutex<AuthoritativeDns>>,
+    senders: Arc<Mutex<HashMap<SiteAddr, Sender<Envelope>>>>,
+    replies: Arc<Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>>,
+    epoch: Instant,
+) -> OrganizingAgent {
+    while let Ok(env) = rx.recv() {
+        let msg = match env {
+            Envelope::Msg(m) => m,
+            Envelope::Stop => break,
+        };
+        let now = epoch.elapsed().as_secs_f64();
+        let outs = {
+            let mut dns = dns.lock();
+            oa.handle(msg, &mut dns, now)
+        };
+        for o in outs {
+            match o {
+                Outbound::Send { to, msg } => {
+                    if let Some(tx) = senders.lock().get(&to) {
+                        let _ = tx.send(Envelope::Msg(msg));
+                    }
+                }
+                Outbound::ReplyUser { endpoint, qid, answer_xml, ok } => {
+                    if let Some(tx) = replies.lock().get(&endpoint) {
+                        let _ = tx.send((qid, answer_xml, ok));
+                    }
+                }
+            }
+        }
+    }
+    oa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irisnet_core::OaConfig;
+
+    fn master() -> sensorxml::Document {
+        sensorxml::parse(
+            r#"<usRegion id="NE"><state id="PA"><county id="A"><city id="P">
+                 <neighborhood id="Oakland">
+                   <block id="1"><parkingSpace id="1"><available>yes</available></parkingSpace>
+                               <parkingSpace id="2"><available>no</available></parkingSpace></block>
+                 </neighborhood>
+                 <neighborhood id="Shadyside">
+                   <block id="1"><parkingSpace id="1"><available>yes</available></parkingSpace></block>
+                 </neighborhood>
+               </city></county></state></usRegion>"#,
+        )
+        .unwrap()
+    }
+
+    fn pgh() -> IdPath {
+        IdPath::from_pairs([
+            ("usRegion", "NE"),
+            ("state", "PA"),
+            ("county", "A"),
+            ("city", "P"),
+        ])
+    }
+
+    #[test]
+    fn end_to_end_distributed_query() {
+        let svc = Service::parking();
+        let mut cluster = LiveCluster::new(svc.clone());
+
+        let root = IdPath::from_pairs([("usRegion", "NE")]);
+        let mut oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa1.db.bootstrap_owned(&master(), &root, true).unwrap();
+        let mut oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
+        oa2.db
+            .bootstrap_owned(&master(), &pgh().child("neighborhood", "Shadyside"), true)
+            .unwrap();
+
+        cluster.register_owner(&root, SiteAddr(1));
+        cluster.register_owner(&pgh().child("neighborhood", "Shadyside"), SiteAddr(2));
+        // Site 1 must genuinely lack Shadyside: demote and evict it.
+        let shady = pgh().child("neighborhood", "Shadyside");
+        oa1.db
+            .set_status_subtree(&shady, irisnet_core::Status::Complete)
+            .unwrap();
+        oa1.db.evict(&shady).unwrap();
+        cluster.add_site(oa1);
+        cluster.add_site(oa2);
+
+        let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']\
+                 /neighborhood[@id='Oakland' or @id='Shadyside']/block[@id='1']\
+                 /parkingSpace[available='yes']";
+        let reply = cluster.pose_query(q, Duration::from_secs(5)).expect("reply");
+        assert!(reply.ok, "answer: {}", reply.answer_xml);
+        // Oakland space 1 + Shadyside space 1 are available.
+        assert_eq!(reply.answer_xml.matches("<parkingSpace").count(), 2);
+
+        let agents = cluster.shutdown();
+        let total_sub: u64 = agents.iter().map(|a| a.stats.subqueries_sent).sum();
+        assert!(total_sub >= 1);
+    }
+
+    #[test]
+    fn update_then_query_sees_fresh_value() {
+        let svc = Service::parking();
+        let mut cluster = LiveCluster::new(svc.clone());
+        let root = IdPath::from_pairs([("usRegion", "NE")]);
+        let mut oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+        cluster.register_owner(&root, SiteAddr(1));
+        cluster.add_site(oa);
+
+        let sp = pgh()
+            .child("neighborhood", "Oakland")
+            .child("block", "1")
+            .child("parkingSpace", "2");
+        cluster.send(
+            SiteAddr(1),
+            Message::Update { path: sp, fields: vec![("available".into(), "yes".into())] },
+        );
+        let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']\
+                 /neighborhood[@id='Oakland']/block[@id='1']/parkingSpace[available='yes']";
+        // The channel is FIFO per site, so the update lands first.
+        let reply = cluster.pose_query(q, Duration::from_secs(5)).expect("reply");
+        assert_eq!(reply.answer_xml.matches("<parkingSpace").count(), 2);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pose_query_at_routes_above_lca() {
+        let svc = Service::parking();
+        let mut cluster = LiveCluster::new(svc.clone());
+        let root = IdPath::from_pairs([("usRegion", "NE")]);
+        let mut oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+        cluster.register_owner(&root, SiteAddr(1));
+        cluster.add_site(oa);
+        let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']\
+                 /neighborhood[@id='Oakland']/block[@id='1']/parkingSpace";
+        let r = cluster
+            .pose_query_at(q, SiteAddr(1), Duration::from_secs(5))
+            .expect("reply");
+        assert!(r.ok);
+        cluster.shutdown();
+    }
+}

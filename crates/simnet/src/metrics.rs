@@ -1,0 +1,90 @@
+//! Shared measurement helpers.
+
+/// Latency percentiles in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub mean: f64,
+    pub count: usize,
+}
+
+/// Computes latency percentiles from raw samples (empty input yields
+/// zeroed percentiles with `count == 0`).
+pub fn latency_percentiles(samples: &[f64]) -> Percentiles {
+    if samples.is_empty() {
+        return Percentiles { p50: 0.0, p90: 0.0, p99: 0.0, mean: 0.0, count: 0 };
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pick = |q: f64| {
+        let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+        v[idx]
+    };
+    Percentiles {
+        p50: pick(0.50),
+        p90: pick(0.90),
+        p99: pick(0.99),
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+        count: v.len(),
+    }
+}
+
+/// Buckets completion timestamps into `window`-second bins, returning
+/// `(window start, completions per second)` pairs covering `[0, horizon)`.
+pub fn throughput_series(completions: &[f64], window: f64, horizon: f64) -> Vec<(f64, f64)> {
+    assert!(window > 0.0, "window must be positive");
+    let bins = (horizon / window).ceil() as usize;
+    let mut counts = vec![0u64; bins.max(1)];
+    for &t in completions {
+        if t >= 0.0 && t < horizon {
+            counts[(t / window) as usize] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as f64 * window, c as f64 / window))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = latency_percentiles(&samples);
+        assert_eq!(p.count, 100);
+        assert!((p.p50 - 50.0).abs() <= 1.0);
+        assert!((p.p90 - 90.0).abs() <= 1.0);
+        assert!((p.p99 - 99.0).abs() <= 1.0);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_empty() {
+        let p = latency_percentiles(&[]);
+        assert_eq!(p.count, 0);
+        assert_eq!(p.mean, 0.0);
+    }
+
+    #[test]
+    fn throughput_bins() {
+        let completions = vec![0.1, 0.2, 1.5, 2.9];
+        let series = throughput_series(&completions, 1.0, 3.0);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (0.0, 2.0));
+        assert_eq!(series[1], (1.0, 1.0));
+        assert_eq!(series[2], (2.0, 1.0));
+    }
+
+    #[test]
+    fn throughput_ignores_out_of_horizon() {
+        let series = throughput_series(&[5.0, -1.0, 0.5], 1.0, 2.0);
+        assert_eq!(series[0].1, 1.0);
+        assert_eq!(series[1].1, 0.0);
+    }
+}

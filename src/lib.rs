@@ -1,0 +1,11 @@
+//! # irisnet
+//!
+//! Umbrella crate re-exporting the whole Cache-and-Query stack. See the
+//! README for an overview and [`irisnet_core`] for the main entry points.
+
+pub use irisdns as dns;
+pub use irisnet_core as core;
+pub use sensorxml as xml;
+pub use sensorxpath as xpath;
+pub use sensorxslt as xslt;
+pub use simnet as net;

@@ -1,0 +1,169 @@
+//! Differential correctness: for randomly generated workload queries, the
+//! answer produced by the *distributed* system (fragments, DNS routing,
+//! QEG gathering, caching) must equal direct XPath evaluation over the
+//! single master document — under every architecture and caching mode.
+
+use irisnet_bench::{build_cluster, Arch, DbParams, ParkingDb, Workload};
+use irisnet_core::{CacheMode, Message, OaConfig};
+use sensorxml::Document;
+use simnet::CostModel;
+
+/// Evaluates `query` directly on the master document and returns the
+/// multiset of canonical strings of the selected subtrees.
+fn oracle(master: &Document, query: &str) -> Vec<String> {
+    let expr = sensorxpath::parse(query).expect("query parses");
+    let v = sensorxpath::evaluate_at(
+        &expr,
+        master,
+        sensorxpath::XNode::Node(master.root().unwrap()),
+    )
+    .expect("oracle evaluation");
+    let mut out: Vec<String> = v
+        .as_nodes()
+        .expect("node-set")
+        .iter()
+        .filter_map(|n| match n {
+            sensorxpath::XNode::Node(id) => Some(sensorxml::canonical_string(master, *id)),
+            _ => None,
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Parses a `<result>` answer and returns the canonical strings of its
+/// child subtrees.
+fn answer_set(answer_xml: &str) -> Vec<String> {
+    let doc = sensorxml::parse(answer_xml).expect("answer parses");
+    let root = doc.root().unwrap();
+    assert_eq!(doc.name(root), "result", "unexpected answer: {answer_xml}");
+    let mut out: Vec<String> = doc
+        .child_elements(root)
+        .map(|c| sensorxml::canonical_string(&doc, c))
+        .collect();
+    out.sort();
+    out
+}
+
+fn smallish() -> DbParams {
+    DbParams {
+        cities: 2,
+        neighborhoods_per_city: 3,
+        blocks_per_neighborhood: 5,
+        spaces_per_block: 4,
+    }
+}
+
+fn check_arch(arch: Arch, cache: CacheMode, seed: u64, queries: usize) {
+    let db = ParkingDb::generate(smallish(), seed);
+    let cfg = OaConfig { cache, ..OaConfig::default() };
+    // One long-lived cluster: caches warm up across queries, so later
+    // queries exercise the partial-match reuse paths too.
+    let mut built = build_cluster(arch, &db, CostModel::default(), cfg, 9);
+    let mut w = Workload::qw_mix(&db, seed.wrapping_add(1));
+    for k in 0..queries {
+        let q = w.next_query();
+        let expected = oracle(&db.master, &q);
+        let got = pose_sync(&mut built, &q);
+        assert_eq!(
+            got, expected,
+            "{arch:?} cache={cache:?}: answer mismatch for query {k}: {q}"
+        );
+    }
+}
+
+/// Poses one query synchronously through the DES and returns the canonical
+/// answer set.
+fn pose_sync(built: &mut irisnet_bench::BuiltCluster, query: &str) -> Vec<String> {
+    // Drive the simulator directly: find the entry site like a client
+    // would, inject, run to quiescence, intercept the reply.
+    let entry = match built.sim.route_override {
+        Some(s) => s,
+        None => {
+            let service = built
+                .sim
+                .site(built.sites[0])
+                .expect("site exists")
+                .service
+                .clone();
+            let (_, _, name) = irisnet_core::routing::route_query(query, &service).unwrap();
+            built
+                .sim
+                .dns
+                .lookup(&name)
+                .map(|a| a.addr)
+                .expect("resolvable")
+        }
+    };
+    let start = built.sim.now();
+    built.sim.schedule_message(
+        start,
+        entry,
+        Message::UserQuery {
+            qid: 424242,
+            text: query.to_string(),
+            endpoint: irisnet_core::Endpoint(9999),
+        },
+    );
+    // Run until the queue drains; intercepting the ReplyUser requires the
+    // raw outbound, so instead capture by re-handling: the DES records
+    // replies only for registered clients, so use the capture hook below.
+    built.sim.run_until(start + 1_000.0);
+    built
+        .sim
+        .take_unclaimed_replies()
+        .into_iter()
+        .next_back()
+        .map(|xml| answer_set(&xml))
+        .expect("a reply was produced")
+}
+
+#[test]
+fn hierarchical_matches_oracle_with_caching() {
+    check_arch(Arch::Hierarchical, CacheMode::Aggressive, 1, 30);
+}
+
+#[test]
+fn hierarchical_matches_oracle_without_caching() {
+    check_arch(Arch::Hierarchical, CacheMode::Off, 2, 30);
+}
+
+#[test]
+fn centralized_matches_oracle() {
+    check_arch(Arch::Centralized, CacheMode::Aggressive, 3, 20);
+}
+
+#[test]
+fn central_query_dist_update_matches_oracle() {
+    check_arch(Arch::CentralQueryDistUpdate, CacheMode::Aggressive, 4, 20);
+}
+
+#[test]
+fn two_level_dns_matches_oracle() {
+    check_arch(Arch::TwoLevelDns, CacheMode::Aggressive, 5, 20);
+}
+
+#[test]
+fn updates_are_visible_in_distributed_answers() {
+    let db = ParkingDb::generate(smallish(), 9);
+    let cfg = OaConfig::default();
+    let mut built = build_cluster(Arch::Hierarchical, &db, CostModel::default(), cfg, 9);
+    // Flip a specific space to "yes" and query it.
+    let sp = db.space_path(0, 1, 2, 3);
+    let owner = built.block_owner[&db.block_path(0, 1, 2)];
+    built.sim.schedule_message(
+        0.0,
+        owner,
+        Message::Update {
+            path: sp,
+            fields: vec![("available".into(), "yes".into()), ("price".into(), "99".into())],
+        },
+    );
+    let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
+             /city[@id='Pittsburgh']/neighborhood[@id='n2']/block[@id='3']\
+             /parkingSpace[price='99']";
+    built.sim.run_until(1.0);
+    let got = pose_sync(&mut built, q);
+    assert_eq!(got.len(), 1);
+    assert!(got[0].contains("<price>99</price>"));
+}

@@ -1,0 +1,162 @@
+//! Live-cluster stress: many concurrent client threads hammering a real
+//! multi-site deployment with mixed queries while sensing agents stream
+//! updates and the administrator migrates blocks — no deadlocks, no lost
+//! queries, every answer well-formed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use irisdns::SiteAddr;
+use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{Message, OaConfig, OrganizingAgent, SensingAgent};
+use parking_lot::Mutex;
+use simnet::LiveCluster;
+
+#[test]
+fn concurrent_clients_updates_and_migrations() {
+    let db = Arc::new(ParkingDb::generate(
+        DbParams { cities: 2, neighborhoods_per_city: 2, blocks_per_neighborhood: 4, spaces_per_block: 3 },
+        99,
+    ));
+    let svc = db.service.clone();
+    let mut cluster = LiveCluster::new(svc.clone());
+
+    // Hierarchical placement.
+    let mut top = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+    top.db.bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
+    top.db
+        .bootstrap_owned(&db.master, &db.root_path().child("state", "PA"), false)
+        .unwrap();
+    top.db.bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
+    cluster.register_owner(&db.root_path(), SiteAddr(1));
+    cluster.add_site(top);
+    let mut next = 2u32;
+    for ci in 0..db.params.cities {
+        let mut a = OrganizingAgent::new(SiteAddr(next), svc.clone(), OaConfig::default());
+        a.db.bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
+        cluster.register_owner(&db.city_path(ci), SiteAddr(next));
+        cluster.add_site(a);
+        next += 1;
+    }
+    let mut nbhd_sites = Vec::new();
+    for ci in 0..db.params.cities {
+        for ni in 0..db.params.neighborhoods_per_city {
+            let mut a = OrganizingAgent::new(SiteAddr(next), svc.clone(), OaConfig::default());
+            a.db.bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), true)
+                .unwrap();
+            cluster.register_owner(&db.neighborhood_path(ci, ni), SiteAddr(next));
+            cluster.add_site(a);
+            nbhd_sites.push(SiteAddr(next));
+            next += 1;
+        }
+    }
+
+    let cluster = Arc::new(Mutex::new(cluster));
+    let completed = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+
+    // Updater thread: every space flips repeatedly.
+    let upd_cluster = cluster.clone();
+    let upd_db = db.clone();
+    let first_nbhd = nbhd_sites[0];
+    let updater = std::thread::spawn(move || {
+        let spaces = upd_db.all_space_paths();
+        let mut sa = SensingAgent::new(spaces, first_nbhd, 5);
+        for _ in 0..300 {
+            if let Some((_, msg)) = sa.next_update() {
+                // Route the update to the true owner via the path prefix.
+                let Message::Update { path, .. } = &msg else { unreachable!() };
+                let nbhd_idx = {
+                    // segments: usRegion/state/county/city/neighborhood/...
+                    let seg = path.segments();
+                    let ci = usize::from(seg[3].1 != "Pittsburgh");
+                    let ni: usize = seg[4].1.trim_start_matches('n').parse::<usize>().unwrap() - 1;
+                    ci * 2 + ni
+                };
+                upd_cluster.lock().send(nbhd_idx_site(&nbhd_sites_copy(), nbhd_idx), msg);
+            }
+        }
+    });
+    fn nbhd_idx_site(sites: &[SiteAddr], idx: usize) -> SiteAddr {
+        sites[idx % sites.len()]
+    }
+    fn nbhd_sites_copy() -> Vec<SiteAddr> {
+        vec![SiteAddr(4), SiteAddr(5), SiteAddr(6), SiteAddr(7)]
+    }
+
+    // Migration thread: bounce a block between two sites.
+    let mig_cluster = cluster.clone();
+    let mig_db = db.clone();
+    let migrator = std::thread::spawn(move || {
+        let block = mig_db.block_path(0, 0, 0);
+        let owners = [SiteAddr(4), SiteAddr(2)];
+        for round in 0..6 {
+            let from = owners[round % 2];
+            let to = owners[(round + 1) % 2];
+            mig_cluster
+                .lock()
+                .send(from, Message::Delegate { path: block.clone(), to });
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+
+    // Client threads: mixed queries.
+    let mut clients = Vec::new();
+    for c in 0..6u64 {
+        let cl = cluster.clone();
+        let cdb = db.clone();
+        let comp = completed.clone();
+        let fail = failures.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut w = Workload::qw_mix(&cdb, 1000 + c);
+            for i in 0..40 {
+                let q = if i % 7 == 0 {
+                    w.next_query_of(QueryType::T4)
+                } else {
+                    w.next_query()
+                };
+                let reply = cl.lock().pose_query(&q, Duration::from_secs(20));
+                match reply {
+                    Some(r) if r.ok => {
+                        // Every answer parses and is a <result>.
+                        let doc = sensorxml::parse(&r.answer_xml).expect("answer parses");
+                        assert_eq!(doc.name(doc.root().unwrap()), "result");
+                        comp.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        fail.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    updater.join().unwrap();
+    migrator.join().unwrap();
+    for c in clients {
+        c.join().unwrap();
+    }
+    let done = completed.load(Ordering::Relaxed);
+    let failed = failures.load(Ordering::Relaxed);
+    assert_eq!(failed, 0, "{failed} queries failed");
+    assert_eq!(done, 240);
+
+    let agents = Arc::try_unwrap(cluster)
+        .ok()
+        .expect("sole owner")
+        .into_inner()
+        .shutdown();
+    let updates: u64 = agents
+        .iter()
+        .map(|a| a.stats.updates_applied + a.stats.updates_forwarded)
+        .sum();
+    assert!(updates >= 300, "updates processed: {updates}");
+    // The bounced block ended up owned by exactly one site.
+    let block = db.block_path(0, 0, 0);
+    let owners = agents
+        .iter()
+        .filter(|a| a.db.status_at(&block) == Some(irisnet_core::Status::Owned))
+        .count();
+    assert_eq!(owners, 1, "exactly one owner after migration storm");
+}

@@ -1,0 +1,270 @@
+//! End-to-end tests of ownership migration under live traffic (§4, §5.4)
+//! and query-based consistency (§4), driven through the discrete-event
+//! cluster so message interleavings are deterministic.
+
+use irisnet_bench::{build_cluster, Arch, DbParams, ParkingDb};
+use irisnet_core::{Endpoint, Message, OaConfig, Status};
+use simnet::CostModel;
+
+fn smallish() -> DbParams {
+    DbParams {
+        cities: 2,
+        neighborhoods_per_city: 2,
+        blocks_per_neighborhood: 4,
+        spaces_per_block: 3,
+    }
+}
+
+fn pose_at(
+    built: &mut irisnet_bench::BuiltCluster,
+    at: f64,
+    q: &str,
+) {
+    let service = built.sim.site(built.sites[0]).unwrap().service.clone();
+    let (_, _, name) = irisnet_core::routing::route_query(q, &service).unwrap();
+    let entry = built.sim.dns.lookup(&name).unwrap().addr;
+    built.sim.schedule_message(
+        at,
+        entry,
+        Message::UserQuery { qid: 1, text: q.to_string(), endpoint: Endpoint(7777) },
+    );
+}
+
+#[test]
+fn migration_under_concurrent_queries_and_updates() {
+    let db = ParkingDb::generate(smallish(), 21);
+    let mut built = build_cluster(
+        Arch::Hierarchical,
+        &db,
+        CostModel::default(),
+        OaConfig::default(),
+        9,
+    );
+    let block = db.block_path(0, 0, 1);
+    let old_owner = built.block_owner[&block];
+    let new_owner = built.sites[0]; // the top site takes the block
+
+    let q = format!("{}/parkingSpace", block.to_xpath());
+
+    // Interleave: query, update, delegate, query+update during transfer,
+    // query after.
+    pose_at(&mut built, 0.0, &q);
+    built.sim.schedule_message(
+        0.05,
+        old_owner,
+        Message::Update {
+            path: block.child("parkingSpace", "1"),
+            fields: vec![("available".into(), "yes".into())],
+        },
+    );
+    built.sim.schedule_message(
+        0.10,
+        old_owner,
+        Message::Delegate { path: block.clone(), to: new_owner },
+    );
+    pose_at(&mut built, 0.101, &q); // likely lands mid-transfer (held)
+    built.sim.schedule_message(
+        0.102,
+        old_owner,
+        Message::Update {
+            path: block.child("parkingSpace", "2"),
+            fields: vec![("available".into(), "no".into())],
+        },
+    );
+    pose_at(&mut built, 2.0, &q);
+    built.sim.run_until(10.0);
+
+    let answers = built.sim.take_unclaimed_replies();
+    assert_eq!(answers.len(), 3, "all queries answered: {answers:?}");
+    for a in &answers {
+        let doc = sensorxml::parse(a).unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(doc.name(root), "result");
+        assert_eq!(
+            doc.child_elements(root).count(),
+            db.params.spaces_per_block,
+            "full block answer expected: {a}"
+        );
+    }
+
+    // Ownership flipped everywhere.
+    assert_eq!(
+        built.sim.site(new_owner).unwrap().db.status_at(&block),
+        Some(Status::Owned)
+    );
+    assert_eq!(
+        built.sim.site(old_owner).unwrap().db.status_at(&block),
+        Some(Status::Complete)
+    );
+    // The held update made it to the new owner (applied or forwarded).
+    let applied: u64 = built
+        .sim
+        .site(new_owner)
+        .map(|s| s.stats.updates_applied)
+        .unwrap_or(0);
+    let forwarded: u64 = built
+        .sim
+        .site(old_owner)
+        .map(|s| s.stats.updates_forwarded)
+        .unwrap_or(0);
+    assert!(applied >= 1 || forwarded >= 1, "held/forwarded update lost");
+    // DNS points at the new owner.
+    let name = db.service.dns_name(&block);
+    assert_eq!(built.sim.dns.lookup(&name).unwrap().addr, new_owner);
+}
+
+#[test]
+fn chained_migration_moves_twice() {
+    let db = ParkingDb::generate(smallish(), 22);
+    let mut built = build_cluster(
+        Arch::Hierarchical,
+        &db,
+        CostModel::default(),
+        OaConfig::default(),
+        9,
+    );
+    let block = db.block_path(1, 1, 0);
+    let s0 = built.block_owner[&block];
+    let s1 = built.sites[1];
+    let s2 = built.sites[2];
+    built.sim.schedule_message(0.0, s0, Message::Delegate { path: block.clone(), to: s1 });
+    built.sim.schedule_message(1.0, s1, Message::Delegate { path: block.clone(), to: s2 });
+    built.sim.run_until(5.0);
+    assert_eq!(built.sim.site(s2).unwrap().db.status_at(&block), Some(Status::Owned));
+    assert_eq!(built.sim.site(s1).unwrap().db.status_at(&block), Some(Status::Complete));
+    // A query posed through stale knowledge still gets answered: route it
+    // deliberately at the *first* owner.
+    let q = format!("{}/parkingSpace", block.to_xpath());
+    built.sim.schedule_message(
+        6.0,
+        s0,
+        Message::UserQuery { qid: 5, text: q, endpoint: Endpoint(1) },
+    );
+    built.sim.run_until(10.0);
+    let answers = built.sim.take_unclaimed_replies();
+    assert_eq!(answers.len(), 1);
+    assert!(answers[0].contains("parkingSpace"));
+}
+
+#[test]
+fn consistency_tolerance_served_from_cache_when_fresh() {
+    let db = ParkingDb::generate(smallish(), 23);
+    let mut built = build_cluster(
+        Arch::Hierarchical,
+        &db,
+        CostModel::default(),
+        OaConfig::default(),
+        9,
+    );
+    let block = db.block_path(0, 0, 0);
+    let owner = built.block_owner[&block];
+    // Fresh update at t=0.5.
+    built.sim.schedule_message(
+        0.5,
+        owner,
+        Message::Update {
+            path: block.child("parkingSpace", "1"),
+            fields: vec![("available".into(), "yes".into())],
+        },
+    );
+    // Warm the city cache at t=1 with a plain query (LCA = city).
+    let nb = db.neighborhood_path(0, 0);
+    let warm = format!(
+        "{}/neighborhood[@id='n1' or @id='n2']/block[@id='1']/parkingSpace",
+        db.city_path(0).to_xpath().trim_end_matches("/city[@id='Pittsburgh']").to_string()
+            + "/city[@id='Pittsburgh']"
+    );
+    let _ = nb;
+    pose_at(&mut built, 1.0, &warm);
+    built.sim.run_until(5.0);
+    let city_site = built.sites[1];
+    let cached = built.sim.site(city_site).unwrap().db.status_at(&block);
+    assert_eq!(cached, Some(Status::Complete), "city cache warmed");
+    built.sim.take_unclaimed_replies();
+
+    // A tolerant query at t=10 (60 s window) is served from the cache:
+    // no new subqueries from the city.
+    let before: u64 = built.sim.site(city_site).unwrap().stats.subqueries_sent;
+    let tolerant = format!(
+        "{}/neighborhood[@id='n1' or @id='n2']/block[@id='1']\
+         /parkingSpace[@timestamp > now() - 60]",
+        db.city_path(0).to_xpath()
+    );
+    built.sim.schedule_message(
+        10.0,
+        city_site,
+        Message::UserQuery { qid: 9, text: tolerant, endpoint: Endpoint(2) },
+    );
+    built.sim.run_until(15.0);
+    let after: u64 = built.sim.site(city_site).unwrap().stats.subqueries_sent;
+    assert_eq!(after, before, "tolerant query must not refetch");
+    let answers = built.sim.take_unclaimed_replies();
+    assert_eq!(answers.len(), 1);
+    // Consistency governs *which copy* answers, not the result set: all
+    // six spaces of the two blocks are in the (fresh-enough) answer.
+    assert_eq!(answers[0].matches("<parkingSpace").count(), 6);
+
+    // A strict query (1 s window) at t=100 must refresh from the owner and
+    // still return the freshest data (owner data is always accepted).
+    let strict = format!(
+        "{}/neighborhood[@id='n1' or @id='n2']/block[@id='1']\
+         /parkingSpace[@timestamp > now() - 1]",
+        db.city_path(0).to_xpath()
+    );
+    built.sim.schedule_message(
+        100.0,
+        city_site,
+        Message::UserQuery { qid: 10, text: strict, endpoint: Endpoint(3) },
+    );
+    built.sim.run_until(110.0);
+    let refreshed: u64 = built.sim.site(city_site).unwrap().stats.subqueries_sent;
+    assert!(refreshed > after, "strict query must consult the owner");
+}
+
+#[test]
+fn subsumption_answers_sibling_wildcard_from_cache() {
+    // The paper's New York example (§3.3): once every neighborhood of a
+    // city has been cached, a wildcard query over all neighborhoods is
+    // answered from the city site alone.
+    let db = ParkingDb::generate(smallish(), 24);
+    let mut built = build_cluster(
+        Arch::Hierarchical,
+        &db,
+        CostModel::default(),
+        OaConfig::default(),
+        9,
+    );
+    let city_site = built.sites[1];
+    // Cache both neighborhoods of city 0 via targeted queries.
+    for ni in 1..=2 {
+        let q = format!(
+            "{}/neighborhood[@id='n{ni}']/block/parkingSpace",
+            db.city_path(0).to_xpath()
+        );
+        built.sim.schedule_message(
+            (ni as f64) * 1.0,
+            city_site,
+            Message::UserQuery { qid: ni as u64, text: q, endpoint: Endpoint(4) },
+        );
+    }
+    built.sim.run_until(20.0);
+    built.sim.take_unclaimed_replies();
+    let before = built.sim.site(city_site).unwrap().stats.subqueries_sent;
+
+    // The wildcard query over all neighborhoods.
+    let q = format!("{}/neighborhood/block/parkingSpace", db.city_path(0).to_xpath());
+    built.sim.schedule_message(
+        30.0,
+        city_site,
+        Message::UserQuery { qid: 99, text: q, endpoint: Endpoint(5) },
+    );
+    built.sim.run_until(40.0);
+    let after = built.sim.site(city_site).unwrap().stats.subqueries_sent;
+    assert_eq!(after, before, "wildcard answered from merged cache");
+    let answers = built.sim.take_unclaimed_replies();
+    assert_eq!(answers.len(), 1);
+    let total = db.params.neighborhoods_per_city
+        * db.params.blocks_per_neighborhood
+        * db.params.spaces_per_block;
+    assert_eq!(answers[0].matches("<parkingSpace").count(), total);
+}

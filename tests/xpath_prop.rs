@@ -1,0 +1,229 @@
+//! Property tests on the XPath engine: Display/parse round-tripping of
+//! random expressions, and agreement between the evaluator and brute-force
+//! oracles on random documents.
+
+use proptest::prelude::*;
+
+use sensorxml::{Document, NodeId};
+use sensorxpath::{Expr, XNode};
+
+// ---------------------------------------------------------------------
+// Random expression generation (over the surface syntax)
+// ---------------------------------------------------------------------
+
+fn name_strat() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("block".to_string()),
+        Just("parkingSpace".to_string()),
+        Just("available".to_string()),
+        Just("price".to_string()),
+        Just("n1".to_string()),
+    ]
+}
+
+fn literal_strat() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("yes".to_string()),
+        Just("no".to_string()),
+        Just("0".to_string()),
+        Just("25".to_string()),
+        Just("Oakland".to_string()),
+    ]
+}
+
+/// Random expression text built from a small grammar; every produced text
+/// is valid unordered-fragment XPath.
+fn expr_strat() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        name_strat(),
+        (name_strat(), literal_strat()).prop_map(|(n, l)| format!("{n}[@id='{l}']")),
+        literal_strat().prop_map(|l| format!("'{l}'")),
+        (0..100i64).prop_map(|n| n.to_string()),
+        Just("@id".to_string()),
+        Just(".".to_string()),
+        Just("..".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}/{b}")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) or ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) and ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) = ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) + ({b})")),
+            inner.clone().prop_map(|a| format!("not({a})")),
+            inner.clone().prop_map(|a| format!("count({a})")),
+            inner.clone().prop_map(|a| format!("//{a}")),
+            inner.clone().prop_map(|a| format!("/{a}")),
+            (name_strat(), inner.clone()).prop_map(|(n, p)| format!("{n}[{p}]")),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------
+// Random documents
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    name: usize,
+    text: Option<usize>,
+    children: Vec<TreeSpec>,
+}
+
+fn tree_strat() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0usize..4, proptest::option::of(0usize..4))
+        .prop_map(|(name, text)| TreeSpec { name, text, children: vec![] });
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        (
+            0usize..4,
+            proptest::option::of(0usize..4),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, text, children)| TreeSpec { name, text, children })
+    })
+}
+
+const TAGS: [&str; 4] = ["a", "b", "c", "d"];
+const TEXTS: [&str; 4] = ["x", "y", "1", "2"];
+
+fn build(doc: &mut Document, spec: &TreeSpec) -> NodeId {
+    let e = doc.create_element(TAGS[spec.name]);
+    if let Some(t) = spec.text {
+        let tn = doc.create_text(TEXTS[t]);
+        doc.append_child(e, tn);
+    }
+    for c in &spec.children {
+        let cc = build(doc, c);
+        doc.append_child(e, cc);
+    }
+    e
+}
+
+fn count_descendants_named(doc: &Document, root: NodeId, tag: &str) -> usize {
+    let self_hit = usize::from(doc.name(root) == tag);
+    self_hit
+        + doc
+            .descendants(root)
+            .filter(|&d| doc.is_element(d) && doc.name(d) == tag)
+            .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse(display(parse(text))) == parse(text) for every expression the
+    /// grammar produces — the property the distributed layer depends on
+    /// when shipping subqueries as text.
+    #[test]
+    fn display_parse_roundtrip(text in expr_strat()) {
+        let e1: Expr = match sensorxpath::parse(&text) {
+            Ok(e) => e,
+            Err(_) => return Ok(()), // grammar artifacts like `5/..` may be rejected
+        };
+        let printed = e1.to_string();
+        let e2 = sensorxpath::parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for `{printed}` (from `{text}`): {err}"));
+        prop_assert_eq!(e1, e2, "roundtrip mismatch via `{}`", printed);
+    }
+
+    /// The optimizer never changes evaluation results: for every random
+    /// expression and random document, optimize(e) evaluates to the same
+    /// value as e (errors must match too).
+    #[test]
+    fn optimizer_preserves_semantics(text in expr_strat(), spec in tree_strat()) {
+        let Ok(e) = sensorxpath::parse(&text) else { return Ok(()) };
+        let o = sensorxpath::optimize(&e);
+        let mut doc = Document::new();
+        let root = build(&mut doc, &spec);
+        doc.set_root(root).unwrap();
+        let v1 = sensorxpath::evaluate_at(&e, &doc, XNode::Node(root));
+        let v2 = sensorxpath::evaluate_at(&o, &doc, XNode::Node(root));
+        fn value_eq(a: &sensorxpath::Value, b: &sensorxpath::Value) -> bool {
+            use sensorxpath::Value::*;
+            match (a, b) {
+                // IEEE NaN breaks PartialEq; two NaNs are the "same result".
+                (Num(x), Num(y)) => x == y || (x.is_nan() && y.is_nan()),
+                _ => a == b,
+            }
+        }
+        match (v1, v2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(value_eq(&a, &b), "optimized `{}` -> `{}`: {:?} vs {:?}", text, o, a, b)
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "result/err mismatch for `{text}`: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// `//tag` agrees with a brute-force descendant count on random trees.
+    #[test]
+    fn descendant_count_matches_oracle(spec in tree_strat(), tag in 0usize..4) {
+        let mut doc = Document::new();
+        let root = build(&mut doc, &spec);
+        doc.set_root(root).unwrap();
+        let tag = TAGS[tag];
+        let expr = sensorxpath::parse(&format!("count(//{tag})")).unwrap();
+        let got = sensorxpath::evaluate_at(&expr, &doc, XNode::Node(root)).unwrap();
+        let expected = count_descendants_named(&doc, root, tag) as f64;
+        prop_assert_eq!(got, sensorxpath::Value::Num(expected));
+    }
+
+    /// Unordered equality is invariant under random sibling permutations.
+    #[test]
+    fn canonical_invariant_under_shuffle(spec in tree_strat(), seed in 0u64..1000) {
+        let mut doc = Document::new();
+        let root = build(&mut doc, &spec);
+        doc.set_root(root).unwrap();
+
+        // Rebuild with children reversed at every level (a deterministic
+        // "shuffle" driven by the seed's parity per depth).
+        fn build_shuffled(doc: &mut Document, spec: &TreeSpec, seed: u64, depth: u64) -> NodeId {
+            let e = doc.create_element(TAGS[spec.name]);
+            if let Some(t) = spec.text {
+                let tn = doc.create_text(TEXTS[t]);
+                doc.append_child(e, tn);
+            }
+            let mut kids: Vec<&TreeSpec> = spec.children.iter().collect();
+            if (seed >> (depth % 60)) & 1 == 1 {
+                kids.reverse();
+            }
+            for c in kids {
+                let cc = build_shuffled(doc, c, seed, depth + 1);
+                doc.append_child(e, cc);
+            }
+            e
+        }
+        let mut doc2 = Document::new();
+        let root2 = build_shuffled(&mut doc2, &spec, seed, 0);
+        doc2.set_root(root2).unwrap();
+
+        prop_assert!(sensorxml::unordered_eq(&doc, root, &doc2, root2));
+        // And the evaluator sees the same node-set sizes.
+        let expr = sensorxpath::parse("count(//a) + count(//b/c)").unwrap();
+        let v1 = sensorxpath::evaluate_at(&expr, &doc, XNode::Node(root)).unwrap();
+        let v2 = sensorxpath::evaluate_at(&expr, &doc2, XNode::Node(root2)).unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Serialization round-trips through the parser on random trees.
+    #[test]
+    fn xml_serialize_parse_roundtrip(spec in tree_strat()) {
+        let mut doc = Document::new();
+        let root = build(&mut doc, &spec);
+        doc.set_root(root).unwrap();
+        let text = sensorxml::serialize(&doc, root);
+        let back = sensorxml::parse(&text).unwrap();
+        prop_assert!(sensorxml::unordered_eq(&doc, root, &back, back.root().unwrap()));
+        // Pretty-printing parses back to the same document when there is
+        // no mixed content (indentation around a text run otherwise joins
+        // the text, as in any XML pretty-printer).
+        fn mixed(s: &TreeSpec) -> bool {
+            (s.text.is_some() && !s.children.is_empty()) || s.children.iter().any(mixed)
+        }
+        if !mixed(&spec) {
+            let pretty = sensorxml::serialize_pretty(&doc, root, 2);
+            let back2 = sensorxml::parse(&pretty).unwrap();
+            prop_assert!(sensorxml::unordered_eq(&doc, root, &back2, back2.root().unwrap()));
+        }
+    }
+}
