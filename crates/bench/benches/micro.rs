@@ -15,6 +15,11 @@ const Q1: &str = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
     /city[@id='Pittsburgh']/neighborhood[@id='n1']/block[@id='7']\
     /parkingSpace[available='yes']";
 
+/// A type 3 query (two neighborhoods of one city, LCA = city).
+const Q3: &str = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
+    /city[@id='Pittsburgh']/neighborhood[@id='n1' or @id='n2']/block[@id='7']\
+    /parkingSpace[available='yes']";
+
 fn nbhd_db(params: DbParams) -> (ParkingDb, SiteDatabase) {
     let db = ParkingDb::generate(params, 1);
     let mut site = SiteDatabase::new(db.service.clone());
@@ -23,10 +28,66 @@ fn nbhd_db(params: DbParams) -> (ParkingDb, SiteDatabase) {
     (db, site)
 }
 
+/// A site owning the entire database (the worst case for sibling scans).
+fn root_db(params: DbParams) -> (ParkingDb, SiteDatabase) {
+    let db = ParkingDb::generate(params, 1);
+    let mut site = SiteDatabase::new(db.service.clone());
+    site.bootstrap_owned(&db.master, &db.root_path(), true)
+        .expect("bootstrap");
+    (db, site)
+}
+
+fn bench_idpath_resolution(c: &mut Criterion) {
+    // Indexed sibling lookup vs the linear scan it replaced, resolving full
+    // root-to-space id paths on the base (2,400 spaces) and Fig. 11 8x
+    // (19,200 spaces) master documents. A large stride walks the paths so
+    // every iteration hits a different block.
+    for (label, params) in [("2400", DbParams::small()), ("19200", DbParams::large())] {
+        let db = ParkingDb::generate(params, 1);
+        let paths = db.all_space_paths();
+        c.bench_function(&format!("idpath/resolve_indexed_{label}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 997) % paths.len();
+                black_box(&paths[i]).resolve(&db.master).unwrap()
+            })
+        });
+        c.bench_function(&format!("idpath/resolve_linear_{label}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 997) % paths.len();
+                black_box(&paths[i]).resolve_linear(&db.master).unwrap()
+            })
+        });
+    }
+}
+
 fn bench_xpath(c: &mut Criterion) {
     c.bench_function("xpath/parse_type1_query", |b| {
         b.iter(|| sensorxpath::parse(black_box(Q1)).unwrap())
     });
+
+    // Id-path resolution through the evaluator: the indexed fast path
+    // (IndexedStep hints, as the optimizer emits them) vs the linear
+    // scan-then-filter baseline (same optimized expression with the hints
+    // stripped). This is the per-step predicate machinery the sibling index
+    // bypasses, measured end to end on a fully id-pinned space query.
+    const QSPACE: &str = "/usRegion[@id='NE']/state[@id='PA']\
+        /county[@id='Allegheny']/city[@id='Pittsburgh']/neighborhood[@id='n3']\
+        /block[@id='17']/parkingSpace[@id='23']";
+    for (label, params) in [("2400", DbParams::small()), ("19200", DbParams::large())] {
+        let db = ParkingDb::generate(params, 1);
+        let root = sensorxpath::XNode::Node(db.master.root().unwrap());
+        let hinted = sensorxpath::optimize(&sensorxpath::parse(QSPACE).unwrap());
+        let mut stripped = hinted.clone();
+        sensorxpath::strip_index_hints(&mut stripped);
+        c.bench_function(&format!("xpath/idpath_eval_indexed_{label}"), |b| {
+            b.iter(|| sensorxpath::evaluate_at(black_box(&hinted), &db.master, root).unwrap())
+        });
+        c.bench_function(&format!("xpath/idpath_eval_scan_{label}"), |b| {
+            b.iter(|| sensorxpath::evaluate_at(black_box(&stripped), &db.master, root).unwrap())
+        });
+    }
 
     let (db, _) = nbhd_db(DbParams::small());
     let expr = sensorxpath::parse(Q1).unwrap();
@@ -72,6 +133,30 @@ fn bench_qeg_execution(c: &mut Criterion) {
         c.bench_function(&format!("qeg/execute_nbhd_{label}"), |b| {
             b.iter(|| prog.execute(black_box(&site), 0.0).unwrap())
         });
+    }
+
+    // Type 1 and type 3 queries executed against a site owning the whole
+    // database — the deep id-pinned descent the sibling index accelerates.
+    // The `_scan` variants run the same compiled program with its index
+    // hints stripped: the pre-index baseline.
+    for (label, params) in [("small", DbParams::small()), ("large8x", DbParams::large())] {
+        let (db, site) = root_db(params);
+        let mut fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
+        for (qlabel, q) in [("t1", Q1), ("t3", Q3)] {
+            let expr = sensorxpath::parse(q).unwrap();
+            let plan = plan_query(&expr, &db.service).unwrap();
+            let prog = fast.create(&plan).unwrap();
+            c.bench_function(&format!("qeg/execute_{qlabel}_root_{label}"), |b| {
+                b.iter(|| prog.execute(black_box(&site), 0.0).unwrap())
+            });
+            let mut scan = prog.clone();
+            for e in &mut scan.compiled.parsed {
+                sensorxpath::strip_index_hints(e);
+            }
+            c.bench_function(&format!("qeg/execute_{qlabel}_root_{label}_scan"), |b| {
+                b.iter(|| scan.execute(black_box(&site), 0.0).unwrap())
+            });
+        }
     }
 }
 
@@ -167,6 +252,7 @@ fn bench_dns(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_xpath,
+    bench_idpath_resolution,
     bench_qeg_creation,
     bench_qeg_execution,
     bench_fragment_ops,

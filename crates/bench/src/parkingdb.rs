@@ -98,7 +98,7 @@ impl ParkingDb {
                         doc.set_text_content(avail, if yes { "yes" } else { "no" });
                         let price = doc.create_element("price");
                         doc.append_child(sp, price);
-                        let p = [0, 25, 50][rng.random_range(0..3)];
+                        let p = [0, 25, 50][rng.random_range(0..3usize)];
                         doc.set_text_content(price, p.to_string());
                         let meter = doc.create_element("meterHours");
                         doc.append_child(sp, meter);

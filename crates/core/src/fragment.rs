@@ -850,6 +850,12 @@ impl SiteDatabase {
     /// * a node with status `incomplete` stores no children;
     /// * every stored node exists in the master document (no phantoms).
     pub fn check_invariants(&self, master: &Document) -> CoreResult<()> {
+        // The sibling index must agree with the child lists after every
+        // mutation path (merge, eviction, schema change); a divergence here
+        // would silently corrupt id-path resolution.
+        self.doc
+            .check_sibling_index()
+            .map_err(CoreError::Invariant)?;
         let Some(root) = self.doc.root() else {
             return Ok(()); // empty database is trivially consistent
         };

@@ -107,6 +107,23 @@ impl IdPath {
         Some(cur)
     }
 
+    /// [`IdPath::resolve`] with every segment forced through the linear
+    /// sibling scan instead of the sibling index — the pre-index baseline,
+    /// kept public for benchmarks and as a property-test oracle.
+    pub fn resolve_linear(&self, doc: &Document) -> Option<NodeId> {
+        let root = doc.root()?;
+        let mut segs = self.segments.iter();
+        let (rt, ri) = segs.next()?.clone();
+        if doc.name(root) != rt || doc.attr(root, "id") != Some(&ri) {
+            return None;
+        }
+        let mut cur = root;
+        for (tag, id) in segs {
+            cur = doc.child_by_name_id_linear(cur, tag, id)?;
+        }
+        Some(cur)
+    }
+
     /// The ID path of `node` inside `doc`, read from the `id` attributes on
     /// the root path. Returns `None` if any node on the path lacks an id.
     pub fn of_node(doc: &Document, node: NodeId) -> Option<IdPath> {

@@ -432,6 +432,9 @@ struct StepSlots {
     full: Option<ExprSlot>,
     pcons: Option<ExprSlot>,
     gate: Option<ExprSlot>,
+    /// The descend select when it embeds the *next* step's id predicate
+    /// (`tag[@id = 'x']`); query-dependent, so patched alongside the rest.
+    next_sel: Option<ExprSlot>,
 }
 
 /// A ready-to-run QEG program.
@@ -615,9 +618,14 @@ impl QegFactory {
     }
 }
 
+/// The pid-narrowed descend select for a tag step: `tag[P_id]`.
+fn narrowed_select(tag: &str, ds: &DistStep) -> String {
+    format!("{tag}[{}]", ds.pid_source())
+}
+
 fn slot_updates(plan: &QueryPlan, slots: &[StepSlots]) -> Vec<(ExprSlot, String)> {
     let mut updates = Vec::new();
-    for (ds, ss) in plan.dist_steps.iter().zip(slots) {
+    for (i, (ds, ss)) in plan.dist_steps.iter().zip(slots).enumerate() {
         if let Some(slot) = ss.pid {
             updates.push((slot, ds.pid_source()));
         }
@@ -630,6 +638,13 @@ fn slot_updates(plan: &QueryPlan, slots: &[StepSlots]) -> Vec<(ExprSlot, String)
         // Gate tests embed P_id; regenerate them too.
         if let Some(slot) = ss.gate {
             updates.push((slot, gate_source(ds)));
+        }
+        // Descend selects embed the *next* step's P_id.
+        if let Some(slot) = ss.next_sel {
+            let nds = &plan.dist_steps[i + 1];
+            if let StepKind::Tag(t) = &nds.kind {
+                updates.push((slot, narrowed_select(t, nds)));
+            }
         }
     }
     updates
@@ -725,11 +740,34 @@ fn generate_stylesheet(
                 } else {
                     None
                 };
+
+                // Descend select for the next step. When the next step has a
+                // clean id predicate, embed it in the select
+                // (`tag[@id = 'x']`) so the evaluator's sibling-index fast
+                // path finds the child in O(1) instead of applying templates
+                // to every same-tag sibling. Semantically equivalent: every
+                // branch of the next step's template is gated on its P_id,
+                // so a node failing the select predicate contributes
+                // nothing. The embedded id makes the slot query-dependent;
+                // it is recorded in `StepSlots` and patched like the rest.
+                let next_sel = (!is_final).then(|| match &plan.dist_steps[i + 1].kind {
+                    StepKind::Tag(t) => {
+                        let nds = &plan.dist_steps[i + 1];
+                        if nds.clean && !nds.pid.is_empty() {
+                            (sheet.slot(narrowed_select(t, nds)), true)
+                        } else {
+                            (sheet.slot(t.clone()), false)
+                        }
+                    }
+                    StepKind::Wildcard | StepKind::Descendant => (sel_idable, false),
+                });
                 slots.push(StepSlots {
                     pid: Some(pid),
                     full: Some(full),
                     pcons,
                     gate,
+                    next_sel: next_sel
+                        .and_then(|(slot, patched)| patched.then_some(slot)),
                 });
 
                 // What to do once the node qualifies.
@@ -744,14 +782,11 @@ fn generate_stylesheet(
                     ])]
                 } else {
                     let next_mode = format!("s{}", i + 1);
-                    let next_sel = match &plan.dist_steps[i + 1].kind {
-                        StepKind::Tag(t) => sheet.slot(t.clone()),
-                        StepKind::Wildcard | StepKind::Descendant => sel_idable,
-                    };
+                    let (sel, _) = next_sel.expect("non-final step has a next select");
                     vec![Instruction::Copy(vec![
                         Instruction::CopyOf(sel_id_attr),
                         Instruction::ApplyTemplates {
-                            select: Some(next_sel),
+                            select: Some(sel),
                             mode: Some(next_mode),
                         },
                     ])]
@@ -983,7 +1018,16 @@ fn strip_step(s: &Step, ts_field: &str) -> Step {
         .into_iter()
         .map(|p| strip_consistency(&p, ts_field))
         .collect();
-    Step { axis: s.axis, test: s.test.clone(), predicates }
+    let mut step = Step {
+        axis: s.axis,
+        test: s.test.clone(),
+        predicates,
+        indexed_id: None,
+    };
+    // The id predicate (if any) is first after the split; re-mark the step
+    // so stripped distribution paths keep the indexed-lookup fast path.
+    step.indexed_id = step.compute_indexed_id();
+    step
 }
 
 fn strip_pred_list(preds: &[Expr], ts_field: &str) -> Vec<Expr> {

@@ -6,7 +6,75 @@
 //! documents (the bread-and-butter operation of a caching site) is a single
 //! preorder walk with no reference-counting traffic.
 
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
 use crate::error::{XmlError, XmlResult};
+
+/// FNV-1a, the hasher for the sibling-index maps. Keys are short tag names
+/// and id values (rarely past 16 bytes), where FNV beats the default
+/// SipHash 2-3x; the index is internal, so SipHash's flood resistance buys
+/// nothing.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
+
+/// Number of children at which an element materializes its sibling index.
+///
+/// Below this, a linear scan beats hashing and the index would only cost
+/// memory; at or above it, `child_by_name_id` lookups go through the index.
+/// Sensor hierarchies are exactly the shape that needs this: interior nodes
+/// (blocks, neighborhoods) fan out to tens of id-distinguished children
+/// while leaf readings stay tiny.
+const INDEX_THRESHOLD: usize = 8;
+
+/// Per-id-value entry of a [`TagEntry`]: the first matching child in
+/// document order plus how many children share the `(tag, id)` key (XML
+/// does not forbid duplicates; the fragment layer treats them as
+/// non-IDable, but the index must stay exact anyway).
+#[derive(Debug, Clone, Copy)]
+struct IdEntry {
+    first: NodeId,
+    count: u32,
+}
+
+/// Per-tag entry of a [`ChildIndex`]: first element child with this tag,
+/// how many share it, and the nested `id`-attribute map.
+#[derive(Debug, Clone)]
+struct TagEntry {
+    first: NodeId,
+    count: u32,
+    by_id: FnvMap<String, IdEntry>,
+}
+
+/// The sibling index of one element: `tag → first child` and
+/// `(tag, id) → first child` with exact document-order `first` and exact
+/// multiplicity counts, maintained through every mutation.
+#[derive(Debug, Clone, Default)]
+struct ChildIndex {
+    tags: FnvMap<String, TagEntry>,
+}
 
 /// Identifier of a node within one [`Document`] arena.
 ///
@@ -53,6 +121,8 @@ pub enum NodeKind {
 struct Node {
     parent: Option<NodeId>,
     kind: NodeKind,
+    /// Lazily materialized sibling index (elements with many children only).
+    index: Option<Box<ChildIndex>>,
 }
 
 /// An XML document: an arena of nodes plus an optional root element.
@@ -127,7 +197,7 @@ impl Document {
 
     fn alloc(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { parent: None, kind });
+        self.nodes.push(Node { parent: None, kind, index: None });
         id
     }
 
@@ -146,9 +216,17 @@ impl Document {
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) {
         debug_assert!(self.node(child).parent.is_none(), "child must be detached");
         self.node_mut(child).parent = Some(parent);
-        match &mut self.node_mut(parent).kind {
-            NodeKind::Element(el) => el.children.push(child),
+        let len = match &mut self.node_mut(parent).kind {
+            NodeKind::Element(el) => {
+                el.children.push(child);
+                el.children.len()
+            }
             NodeKind::Text(_) => panic!("cannot append children to a text node"),
+        };
+        if self.node(parent).index.is_some() {
+            self.index_append(parent, child);
+        } else if len >= INDEX_THRESHOLD {
+            self.build_index(parent);
         }
     }
 
@@ -162,6 +240,9 @@ impl Document {
         if let Some(p) = parent {
             if let NodeKind::Element(el) = &mut self.node_mut(p).kind {
                 el.children.retain(|&c| c != id);
+            }
+            if self.node(p).index.is_some() {
+                self.index_detach(p, id);
             }
         }
     }
@@ -235,6 +316,9 @@ impl Document {
     pub fn set_attr(&mut self, id: NodeId, name: impl Into<String>, value: impl Into<String>) {
         let name = name.into();
         let value = value.into();
+        let track_id = name == "id" && self.is_element(id);
+        let old = if track_id { self.attr(id, "id").map(str::to_string) } else { None };
+        let new = if track_id { Some(value.clone()) } else { None };
         if let NodeKind::Element(el) = &mut self.node_mut(id).kind {
             if let Some(a) = el.attrs.iter_mut().find(|a| a.name == name) {
                 a.value = value;
@@ -242,13 +326,20 @@ impl Document {
                 el.attrs.push(Attr { name, value });
             }
         }
+        if track_id && old != new {
+            self.reindex_id_attr(id, old, new);
+        }
     }
 
     /// Removes an attribute; returns the old value if present.
     pub fn remove_attr(&mut self, id: NodeId, name: &str) -> Option<String> {
         if let NodeKind::Element(el) = &mut self.node_mut(id).kind {
             if let Some(pos) = el.attrs.iter().position(|a| a.name == name) {
-                return Some(el.attrs.remove(pos).value);
+                let old = el.attrs.remove(pos).value;
+                if name == "id" {
+                    self.reindex_id_attr(id, Some(old.clone()), None);
+                }
+                return Some(old);
             }
         }
         None
@@ -273,23 +364,90 @@ impl Document {
     /// Finds a child element with the given tag name and `id` attribute value.
     ///
     /// This is the fundamental lookup of the IrisNet fragment model, where a
-    /// node's identity among same-named siblings is its `id` attribute.
+    /// node's identity among same-named siblings is its `id` attribute. For
+    /// elements past [`INDEX_THRESHOLD`] children it is an O(1) hash lookup
+    /// in the sibling index; smaller elements use the linear scan.
     pub fn child_by_name_id(&self, parent: NodeId, name: &str, idval: &str) -> Option<NodeId> {
+        if let Some(idx) = self.node(parent).index.as_deref() {
+            return idx.tags.get(name).and_then(|t| t.by_id.get(idval)).map(|e| e.first);
+        }
+        self.child_by_name_id_linear(parent, name, idval)
+    }
+
+    /// The unindexed sibling scan behind [`Document::child_by_name_id`];
+    /// kept public as the benchmark baseline and test oracle.
+    pub fn child_by_name_id_linear(
+        &self,
+        parent: NodeId,
+        name: &str,
+        idval: &str,
+    ) -> Option<NodeId> {
         self.child_elements(parent)
             .find(|&c| self.name(c) == name && self.attr(c, "id") == Some(idval))
     }
 
     /// Finds the first child element with the given tag name.
     pub fn child_by_name(&self, parent: NodeId, name: &str) -> Option<NodeId> {
+        if let Some(idx) = self.node(parent).index.as_deref() {
+            return idx.tags.get(name).map(|t| t.first);
+        }
+        self.child_by_name_linear(parent, name)
+    }
+
+    /// The unindexed scan behind [`Document::child_by_name`].
+    pub fn child_by_name_linear(&self, parent: NodeId, name: &str) -> Option<NodeId> {
         self.child_elements(parent).find(|&c| self.name(c) == name)
+    }
+
+    /// All child elements matching `(name, idval)` in document order.
+    ///
+    /// This is the node-set the XPath step `child::name[@id = 'idval']`
+    /// selects. In the overwhelmingly common case the index proves the match
+    /// unique (or absent) in O(1); only genuine duplicates fall back to the
+    /// scan.
+    pub fn children_by_name_id(&self, parent: NodeId, name: &str, idval: &str) -> Vec<NodeId> {
+        if let Some(idx) = self.node(parent).index.as_deref() {
+            match idx.tags.get(name).and_then(|t| t.by_id.get(idval)) {
+                None => return Vec::new(),
+                Some(e) if e.count == 1 => return vec![e.first],
+                Some(_) => {}
+            }
+        }
+        self.child_elements(parent)
+            .filter(|&c| self.name(c) == name && self.attr(c, "id") == Some(idval))
+            .collect()
+    }
+
+    /// True if `id` currently holds a materialized sibling index.
+    pub fn has_sibling_index(&self, id: NodeId) -> bool {
+        self.node(id).index.is_some()
     }
 
     /// Concatenated text of all descendant text nodes (the XPath
     /// string-value of an element).
     pub fn text_content(&self, id: NodeId) -> String {
+        if let Some(t) = self.text_content_fast(id) {
+            return t.to_string();
+        }
         let mut out = String::new();
         self.collect_text(id, &mut out);
         out
+    }
+
+    /// Borrowed string-value for the common leaf shapes — a text node, an
+    /// empty element, or an element whose single child is a text node (every
+    /// sensor reading looks like `<available>yes</available>`). Returns
+    /// `None` for mixed/nested content, where the caller needs the
+    /// concatenating [`Document::text_content`].
+    pub fn text_content_fast(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element(el) => match el.children.as_slice() {
+                [] => Some(""),
+                [only] => self.text(*only),
+                _ => None,
+            },
+        }
     }
 
     fn collect_text(&self, id: NodeId, out: &mut String) {
@@ -367,6 +525,234 @@ impl Document {
                 e
             }
         }
+    }
+
+    // ---- sibling-index maintenance ----
+    //
+    // Invariants (checked by `check_sibling_index`, relied on by the
+    // lookup fast paths):
+    //   X1. An index, if present, covers exactly the element children of
+    //       its owner: `tags[t].count` children have tag `t`, and
+    //       `tags[t].by_id[v].count` of those carry `id="v"`.
+    //   X2. Every `first` is the first match in document order, so indexed
+    //       lookups agree with the linear scan even under duplicate keys.
+    //   X3. Absence is exact: a key missing from a present index means no
+    //       child matches (lookups return `None` without scanning).
+
+    /// Builds the sibling index of `parent` from its current children.
+    fn build_index(&mut self, parent: NodeId) {
+        let entries: Vec<(NodeId, String, Option<String>)> = self
+            .child_elements(parent)
+            .map(|c| (c, self.name(c).to_string(), self.attr(c, "id").map(str::to_string)))
+            .collect();
+        let mut idx = ChildIndex::default();
+        for (c, name, idval) in entries {
+            let tag = idx.tags.entry(name).or_insert_with(|| TagEntry {
+                first: c,
+                count: 0,
+                by_id: FnvMap::default(),
+            });
+            tag.count += 1;
+            if let Some(v) = idval {
+                let e = tag.by_id.entry(v).or_insert(IdEntry { first: c, count: 0 });
+                e.count += 1;
+            }
+        }
+        self.node_mut(parent).index = Some(Box::new(idx));
+    }
+
+    /// Index update for a child appended at the end of the child list: the
+    /// existing `first` entries stay correct, counts grow.
+    fn index_append(&mut self, parent: NodeId, child: NodeId) {
+        if !self.is_element(child) {
+            return;
+        }
+        let name = self.name(child).to_string();
+        let idval = self.attr(child, "id").map(str::to_string);
+        let Some(idx) = self.node_mut(parent).index.as_deref_mut() else {
+            return;
+        };
+        let tag = idx.tags.entry(name).or_insert_with(|| TagEntry {
+            first: child,
+            count: 0,
+            by_id: FnvMap::default(),
+        });
+        tag.count += 1;
+        if let Some(v) = idval {
+            let e = tag.by_id.entry(v).or_insert(IdEntry { first: child, count: 0 });
+            e.count += 1;
+        }
+    }
+
+    /// Index update after `child` was removed from `parent`'s child list
+    /// (the node itself is still in the arena, so its keys are readable).
+    /// Only a removal of the current `first` needs a rescan, and `detach`
+    /// is already O(children) from the `retain`.
+    fn index_detach(&mut self, parent: NodeId, child: NodeId) {
+        if !self.is_element(child) {
+            return;
+        }
+        let name = self.name(child).to_string();
+        let idval = self.attr(child, "id").map(str::to_string);
+
+        let Some(idx) = self.node(parent).index.as_deref() else {
+            return;
+        };
+        let Some(tag) = idx.tags.get(&name) else {
+            debug_assert!(false, "detached element child missing from sibling index");
+            return;
+        };
+        // Decide on rescans with the shared borrow, then apply mutably.
+        let remove_tag = tag.count == 1;
+        let new_tag_first = (!remove_tag && tag.first == child)
+            .then(|| self.scan_first_count(parent, &name, None).expect("count > 1").0);
+        let mut remove_id = false;
+        let mut new_id_entry = None;
+        if let Some(v) = idval.as_deref() {
+            if let Some(e) = tag.by_id.get(v) {
+                remove_id = e.count == 1;
+                if !remove_id && e.first == child {
+                    new_id_entry = self.scan_first_count(parent, &name, Some(v));
+                }
+            } else {
+                debug_assert!(false, "detached element id missing from sibling index");
+            }
+        }
+
+        let idx = self.node_mut(parent).index.as_deref_mut().expect("checked above");
+        if remove_tag {
+            idx.tags.remove(&name);
+            return;
+        }
+        let tag = idx.tags.get_mut(&name).expect("checked above");
+        tag.count -= 1;
+        if let Some(f) = new_tag_first {
+            tag.first = f;
+        }
+        if let Some(v) = idval {
+            if remove_id {
+                tag.by_id.remove(&v);
+            } else if let Some(e) = tag.by_id.get_mut(&v) {
+                e.count -= 1;
+                if let Some((f, _)) = new_id_entry {
+                    e.first = f;
+                }
+            }
+        }
+    }
+
+    /// Recomputes the `(tag, id)` entries touched by an `id` attribute
+    /// change on an attached child of an indexed parent. The tag entry
+    /// itself is unaffected (the element kept its name and position).
+    fn reindex_id_attr(&mut self, node: NodeId, old: Option<String>, new: Option<String>) {
+        let Some(parent) = self.parent(node) else {
+            return;
+        };
+        if self.node(parent).index.is_none() {
+            return;
+        }
+        let name = self.name(node).to_string();
+        for key in [old, new].into_iter().flatten() {
+            let fresh = self.scan_first_count(parent, &name, Some(&key));
+            let Some(idx) = self.node_mut(parent).index.as_deref_mut() else {
+                return;
+            };
+            let Some(tag) = idx.tags.get_mut(&name) else {
+                debug_assert!(false, "attached element missing from sibling index");
+                return;
+            };
+            match fresh {
+                Some((first, count)) => {
+                    tag.by_id.insert(key, IdEntry { first, count });
+                }
+                None => {
+                    tag.by_id.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// First matching element child and match count, by linear scan.
+    fn scan_first_count(
+        &self,
+        parent: NodeId,
+        name: &str,
+        idval: Option<&str>,
+    ) -> Option<(NodeId, u32)> {
+        let mut first = None;
+        let mut count = 0;
+        for c in self.child_elements(parent) {
+            if self.name(c) == name
+                && idval.is_none_or(|v| self.attr(c, "id") == Some(v))
+            {
+                first.get_or_insert(c);
+                count += 1;
+            }
+        }
+        first.map(|f| (f, count))
+    }
+
+    /// Verifies invariants X1–X3 for every materialized index in the arena
+    /// (including detached subtrees). Test/debug helper: O(arena size).
+    pub fn check_sibling_index(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let Some(idx) = node.index.as_deref() else {
+                continue;
+            };
+            let id = NodeId(i as u32);
+            let mut want = ChildIndex::default();
+            for c in self.child_elements(id) {
+                let tag = want.tags.entry(self.name(c).to_string()).or_insert_with(|| {
+                    TagEntry { first: c, count: 0, by_id: FnvMap::default() }
+                });
+                tag.count += 1;
+                if let Some(v) = self.attr(c, "id") {
+                    let e = tag
+                        .by_id
+                        .entry(v.to_string())
+                        .or_insert(IdEntry { first: c, count: 0 });
+                    e.count += 1;
+                }
+            }
+            if idx.tags.len() != want.tags.len() {
+                return Err(format!(
+                    "node {i}: index has {} tags, children have {}",
+                    idx.tags.len(),
+                    want.tags.len()
+                ));
+            }
+            for (name, w) in &want.tags {
+                let Some(g) = idx.tags.get(name) else {
+                    return Err(format!("node {i}: tag {name:?} missing from index"));
+                };
+                if (g.first, g.count) != (w.first, w.count) {
+                    return Err(format!(
+                        "node {i}, tag {name:?}: index has ({:?}, {}), children have ({:?}, {})",
+                        g.first, g.count, w.first, w.count
+                    ));
+                }
+                if g.by_id.len() != w.by_id.len() {
+                    return Err(format!(
+                        "node {i}, tag {name:?}: index has {} ids, children have {}",
+                        g.by_id.len(),
+                        w.by_id.len()
+                    ));
+                }
+                for (v, we) in &w.by_id {
+                    match g.by_id.get(v) {
+                        Some(ge) if (ge.first, ge.count) == (we.first, we.count) => {}
+                        other => {
+                            return Err(format!(
+                                "node {i}, key ({name:?}, {v:?}): index has {other:?}, \
+                                 children have ({:?}, {})",
+                                we.first, we.count
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Rebuilds the arena keeping only nodes reachable from the root.
@@ -559,5 +945,136 @@ mod tests {
         let (mut doc, _root) = Document::with_root("a");
         let other = doc.create_element("b");
         assert_eq!(doc.set_root(other), Err(XmlError::MultipleRoots));
+    }
+
+    /// A block with enough id-distinguished children to cross the index
+    /// threshold.
+    fn indexed_block(n: usize) -> (Document, NodeId, Vec<NodeId>) {
+        let (mut doc, root) = Document::with_root("block");
+        let kids = (0..n)
+            .map(|i| {
+                let sp = doc.create_element("parkingSpace");
+                doc.set_attr(sp, "id", (i + 1).to_string());
+                doc.append_child(root, sp);
+                sp
+            })
+            .collect();
+        (doc, root, kids)
+    }
+
+    #[test]
+    fn index_materializes_at_threshold() {
+        let (doc, root, _) = indexed_block(INDEX_THRESHOLD - 1);
+        assert!(!doc.has_sibling_index(root));
+        let (doc, root, kids) = indexed_block(INDEX_THRESHOLD);
+        assert!(doc.has_sibling_index(root));
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "3"), Some(kids[2]));
+        assert_eq!(doc.child_by_name(root, "parkingSpace"), Some(kids[0]));
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "99"), None);
+        assert_eq!(doc.child_by_name_id(root, "block", "3"), None);
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear() {
+        let (doc, root, _) = indexed_block(20);
+        for idv in ["1", "10", "20", "21", ""] {
+            assert_eq!(
+                doc.child_by_name_id(root, "parkingSpace", idv),
+                doc.child_by_name_id_linear(root, "parkingSpace", idv),
+            );
+        }
+        assert_eq!(
+            doc.child_by_name(root, "parkingSpace"),
+            doc.child_by_name_linear(root, "parkingSpace"),
+        );
+    }
+
+    #[test]
+    fn detach_keeps_index_coherent() {
+        let (mut doc, root, kids) = indexed_block(10);
+        doc.detach(kids[0]); // removes the current `first` of both maps
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name(root, "parkingSpace"), Some(kids[1]));
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "1"), None);
+        doc.detach(kids[5]);
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "6"), None);
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "7"), Some(kids[6]));
+        // Draining every child must leave an empty but coherent index.
+        for &k in &kids {
+            doc.detach(k);
+        }
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name(root, "parkingSpace"), None);
+    }
+
+    #[test]
+    fn id_attr_changes_reindex() {
+        let (mut doc, root, kids) = indexed_block(10);
+        doc.set_attr(kids[3], "id", "forty");
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "4"), None);
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "forty"), Some(kids[3]));
+        doc.remove_attr(kids[3], "id");
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "forty"), None);
+        // Non-id attributes (the status flips of the fragment layer) must
+        // not touch the index.
+        doc.set_attr(kids[4], "status", "complete");
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "5"), Some(kids[4]));
+    }
+
+    #[test]
+    fn duplicate_keys_keep_first_match_semantics() {
+        let (mut doc, root, kids) = indexed_block(9);
+        // Make kids[6] a duplicate of kids[2]'s (tag, id) key.
+        doc.set_attr(kids[6], "id", "3");
+        doc.check_sibling_index().unwrap();
+        assert_eq!(
+            doc.child_by_name_id(root, "parkingSpace", "3"),
+            doc.child_by_name_id_linear(root, "parkingSpace", "3"),
+        );
+        assert_eq!(
+            doc.children_by_name_id(root, "parkingSpace", "3"),
+            vec![kids[2], kids[6]],
+        );
+        // Removing the first duplicate promotes the second.
+        doc.detach(kids[2]);
+        doc.check_sibling_index().unwrap();
+        assert_eq!(doc.child_by_name_id(root, "parkingSpace", "3"), Some(kids[6]));
+        assert_eq!(doc.children_by_name_id(root, "parkingSpace", "3"), vec![kids[6]]);
+    }
+
+    #[test]
+    fn clone_and_compact_preserve_coherence() {
+        let (mut doc, root, kids) = indexed_block(12);
+        let cloned = doc.clone();
+        cloned.check_sibling_index().unwrap();
+        assert_eq!(cloned.child_by_name_id(root, "parkingSpace", "8"), Some(kids[7]));
+        doc.detach(kids[1]);
+        doc.compact();
+        doc.check_sibling_index().unwrap();
+        let root = doc.root().unwrap();
+        assert!(doc.has_sibling_index(root));
+        assert!(doc.child_by_name_id(root, "parkingSpace", "2").is_none());
+        assert!(doc.child_by_name_id(root, "parkingSpace", "3").is_some());
+    }
+
+    #[test]
+    fn text_content_fast_leaf_shapes() {
+        let (mut doc, _, n, _) = small_doc();
+        doc.set_text_content(n, "yes");
+        assert_eq!(doc.text_content_fast(n), Some("yes"));
+        let t = doc.children(n)[0];
+        assert_eq!(doc.text_content_fast(t), Some("yes"));
+        let empty = doc.create_element("empty");
+        assert_eq!(doc.text_content_fast(empty), Some(""));
+        // Nested content falls back to the concatenating path.
+        let (doc2, root2, _, b2) = small_doc();
+        assert_eq!(doc2.text_content_fast(root2), None);
+        assert_eq!(doc2.text_content_fast(b2), Some(""));
+        assert_eq!(doc2.text_content(root2), "");
     }
 }

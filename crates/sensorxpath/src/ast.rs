@@ -114,11 +114,31 @@ impl fmt::Display for NodeTest {
 
 /// One location step: axis, node test, and a (possibly empty) list of
 /// predicates forming a conjunction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Step {
     pub axis: Axis,
     pub test: NodeTest,
     pub predicates: Vec<Expr>,
+    /// Evaluator hint: set iff this is a `child::name` step whose *first*
+    /// predicate is exactly `@id = <this literal>`, which lets the
+    /// evaluator answer the step from the document's sibling index instead
+    /// of scanning every child and re-testing the predicate. Purely an
+    /// execution hint — it never changes semantics, is invisible to
+    /// `Display` (the predicate list still prints in full, so shipped
+    /// subqueries round-trip), and is ignored by `PartialEq`. Set by the
+    /// optimizer and by the id-path constructors; recompute with
+    /// [`Step::compute_indexed_id`] after editing `predicates`.
+    pub indexed_id: Option<String>,
+}
+
+/// Equality ignores the `indexed_id` execution hint: an optimized step and
+/// its unoptimized (or reparsed) twin compare equal.
+impl PartialEq for Step {
+    fn eq(&self, other: &Self) -> bool {
+        self.axis == other.axis
+            && self.test == other.test
+            && self.predicates == other.predicates
+    }
 }
 
 impl Step {
@@ -128,16 +148,32 @@ impl Step {
             axis: Axis::Child,
             test: NodeTest::Name(name.into()),
             predicates: Vec::new(),
+            indexed_id: None,
         }
     }
 
-    /// A `child::name[@id='id']` step.
+    /// A `child::name[@id='id']` step, pre-marked for indexed evaluation.
     pub fn child_with_id(name: impl Into<String>, id: impl Into<String>) -> Self {
+        let id = id.into();
         Step {
             axis: Axis::Child,
             test: NodeTest::Name(name.into()),
-            predicates: vec![Expr::id_equals(id)],
+            predicates: vec![Expr::id_equals(id.clone())],
+            indexed_id: Some(id),
         }
+    }
+
+    /// The `indexed_id` hint this step's shape supports: `Some(literal)`
+    /// iff the axis is `child`, the test is a name test, and the first
+    /// predicate is exactly `@id = 'literal'`.
+    pub fn compute_indexed_id(&self) -> Option<String> {
+        if self.axis != Axis::Child || !matches!(self.test, NodeTest::Name(_)) {
+            return None;
+        }
+        self.predicates
+            .first()
+            .and_then(|p| p.as_id_equals())
+            .map(str::to_string)
     }
 
     /// True for the `descendant-or-self::node()` step that encodes `//`.
@@ -270,6 +306,7 @@ impl Expr {
                     axis: Axis::Attribute,
                     test: NodeTest::Name("id".into()),
                     predicates: Vec::new(),
+                    indexed_id: None,
                 }],
             })),
             Box::new(Expr::Literal(id.into())),
@@ -426,6 +463,7 @@ mod tests {
                     axis: Axis::Attribute,
                     test: NodeTest::Name("price".into()),
                     predicates: vec![],
+                    indexed_id: None,
                 }],
             })),
             Box::new(Expr::Literal("0".into())),
@@ -457,11 +495,13 @@ mod tests {
             axis: Axis::SelfAxis,
             test: NodeTest::Node,
             predicates: vec![],
+            indexed_id: None,
         };
         let dotdot = Step {
             axis: Axis::Parent,
             test: NodeTest::Node,
             predicates: vec![],
+            indexed_id: None,
         };
         assert_eq!(dot.to_string(), ".");
         assert_eq!(dotdot.to_string(), "..");

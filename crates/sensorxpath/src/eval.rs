@@ -64,6 +64,10 @@ pub fn evaluate(expr: &Expr, ctx: &EvalContext<'_>) -> XPathResult<Value> {
             let lv = evaluate(l, ctx)?;
             let rv = evaluate(r, ctx)?;
             match (lv, rv) {
+                // An empty side contributes nothing; the other side is
+                // already sorted and deduplicated, so return it as-is.
+                (Value::Nodes(a), Value::Nodes(b)) if a.is_empty() => Ok(Value::Nodes(b)),
+                (Value::Nodes(a), Value::Nodes(b)) if b.is_empty() => Ok(Value::Nodes(a)),
                 (Value::Nodes(mut a), Value::Nodes(b)) => {
                     a.extend(b);
                     Ok(Value::Nodes(dedup(a)))
@@ -180,12 +184,65 @@ pub fn apply_step(
     step: &Step,
     ctx: &EvalContext<'_>,
 ) -> XPathResult<Vec<XNode>> {
+    if let Some(out) = apply_indexed_step(input, step, ctx)? {
+        return Ok(out);
+    }
     let mut out: Vec<XNode> = Vec::new();
     for &n in input {
         axis_nodes(ctx.doc, n, step.axis, &step.test, &mut out);
     }
     let out = dedup(out);
     filter_all(out, &step.predicates, ctx)
+}
+
+/// Fast path for steps carrying the optimizer's `indexed_id` hint
+/// (`child::tag[@id = 'lit']...`): answers the child scan *and* the id
+/// predicate from the document's sibling index instead of walking every
+/// child and re-evaluating the predicate per node. Returns `None` when the
+/// hint is absent or does not match the step's shape (then the caller runs
+/// the general path, so a stale hint can cost time but never correctness).
+fn apply_indexed_step(
+    input: &[XNode],
+    step: &Step,
+    ctx: &EvalContext<'_>,
+) -> XPathResult<Option<Vec<XNode>>> {
+    let Some(idval) = step.indexed_id.as_deref() else {
+        return Ok(None);
+    };
+    if step.axis != Axis::Child {
+        return Ok(None);
+    }
+    let NodeTest::Name(tag) = &step.test else {
+        return Ok(None);
+    };
+    // The hint promises the first predicate is exactly `@id = idval`; verify
+    // before skipping it, since the AST fields are public.
+    if step.predicates.first().and_then(|p| p.as_id_equals()) != Some(idval) {
+        return Ok(None);
+    }
+    let mut out: Vec<XNode> = Vec::new();
+    for &n in input {
+        match n {
+            XNode::Node(id) => {
+                out.extend(
+                    ctx.doc
+                        .children_by_name_id(id, tag, idval)
+                        .into_iter()
+                        .map(XNode::Node),
+                );
+            }
+            XNode::Document => {
+                if let Some(r) = ctx.doc.root() {
+                    if ctx.doc.name(r) == tag && ctx.doc.attr(r, "id") == Some(idval) {
+                        out.push(XNode::Node(r));
+                    }
+                }
+            }
+            XNode::Attr(..) => {}
+        }
+    }
+    let out = dedup(out);
+    filter_all(out, &step.predicates[1..], ctx).map(Some)
 }
 
 fn filter_all(
@@ -330,6 +387,12 @@ fn node_test_matches(doc: &Document, n: XNode, test: &NodeTest, axis: Axis) -> b
 }
 
 fn dedup(mut ns: Vec<XNode>) -> Vec<XNode> {
+    // Sets of 0 or 1 nodes are trivially sorted and unique; skip the sort.
+    // This is the common case for id-pinned steps, which produce one node
+    // per input node.
+    if ns.len() <= 1 {
+        return ns;
+    }
     ns.sort_unstable();
     ns.dedup();
     ns

@@ -66,7 +66,17 @@ fn fold_step(s: &Step) -> Step {
     predicates.retain(|p| !is_true_call(p));
     // Id-attribute-only predicates first (cheap rejection).
     predicates.sort_by_key(|p| usize::from(p.as_id_equals().is_none()));
-    Step { axis: s.axis, test: s.test.clone(), predicates }
+    let mut step = Step {
+        axis: s.axis,
+        test: s.test.clone(),
+        predicates,
+        indexed_id: None,
+    };
+    // With the id test sorted first, `child::tag[@id = 'lit']...` steps can
+    // be answered from the document's sibling index; mark them for the
+    // evaluator's fast path.
+    step.indexed_id = step.compute_indexed_id();
+    step
 }
 
 fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
@@ -172,6 +182,48 @@ fn bool_call(b: bool) -> Expr {
     Expr::Call(if b { "true" } else { "false" }.to_string(), vec![])
 }
 
+/// Applies `f` to every step in the expression tree, recursing into
+/// predicates and nested paths.
+fn for_each_step(e: &mut Expr, f: &mut dyn FnMut(&mut Step)) {
+    fn walk_steps(steps: &mut [Step], f: &mut dyn FnMut(&mut Step)) {
+        for s in steps {
+            f(s);
+            s.predicates.iter_mut().for_each(|p| for_each_step(p, f));
+        }
+    }
+    match e {
+        Expr::Path(p) => walk_steps(&mut p.steps, f),
+        Expr::Binary(_, l, r) | Expr::Union(l, r) => {
+            for_each_step(l, f);
+            for_each_step(r, f);
+        }
+        Expr::Negate(i) => for_each_step(i, f),
+        Expr::Call(_, args) => args.iter_mut().for_each(|a| for_each_step(a, f)),
+        Expr::Filter { primary, predicates, trailing } => {
+            for_each_step(primary, f);
+            predicates.iter_mut().for_each(|p| for_each_step(p, f));
+            walk_steps(trailing, f);
+        }
+        Expr::Literal(_) | Expr::Number(_) | Expr::Var(_) => {}
+    }
+}
+
+/// Clears every step's `indexed_id` evaluation hint, forcing the evaluator
+/// back onto the scan-then-filter path. The expression's semantics are
+/// untouched (the hint never carries meaning). This is the benchmark
+/// baseline for the sibling-index fast path.
+pub fn strip_index_hints(e: &mut Expr) {
+    for_each_step(e, &mut |s| s.indexed_id = None);
+}
+
+/// Recomputes every step's `indexed_id` hint in place. Use after building an
+/// expression outside [`optimize`] — e.g. re-parsing a printed subquery,
+/// whose hints `Display` deliberately drops — to restore the indexed-lookup
+/// fast path.
+pub fn mark_index_hints(e: &mut Expr) {
+    for_each_step(e, &mut |s| s.indexed_id = s.compute_indexed_id());
+}
+
 /// True if the expression references no document data (safe to hoist).
 pub fn is_constant(e: &Expr) -> bool {
     match e {
@@ -218,6 +270,40 @@ mod tests {
 
     fn opt(s: &str) -> String {
         optimize(&parse(s).unwrap()).to_string()
+    }
+
+    #[test]
+    fn index_hints_marked_and_stripped() {
+        let e = optimize(&parse("/a[@id='1']/b[@id='2'][price > 3]").unwrap());
+        let steps = match &e {
+            Expr::Path(p) => &p.steps,
+            other => panic!("expected path, got {other}"),
+        };
+        assert_eq!(steps[0].indexed_id.as_deref(), Some("1"));
+        assert_eq!(steps[1].indexed_id.as_deref(), Some("2"));
+
+        let mut stripped = e.clone();
+        strip_index_hints(&mut stripped);
+        let ssteps = match &stripped {
+            Expr::Path(p) => &p.steps,
+            other => panic!("expected path, got {other}"),
+        };
+        assert!(ssteps.iter().all(|s| s.indexed_id.is_none()));
+        // The hint is an execution detail: equality and display ignore it.
+        assert_eq!(stripped, e);
+        assert_eq!(stripped.to_string(), e.to_string());
+    }
+
+    #[test]
+    fn non_id_steps_get_no_hint() {
+        let e = optimize(&parse("/a[@id='1']/b[price > 3]/c").unwrap());
+        let steps = match &e {
+            Expr::Path(p) => &p.steps,
+            other => panic!("expected path, got {other}"),
+        };
+        assert_eq!(steps[0].indexed_id.as_deref(), Some("1"));
+        assert_eq!(steps[1].indexed_id, None);
+        assert_eq!(steps[2].indexed_id, None);
     }
 
     #[test]

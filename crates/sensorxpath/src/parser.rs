@@ -184,6 +184,7 @@ impl Parser {
                     axis: Axis::DescendantOrSelf,
                     test: NodeTest::Node,
                     predicates: Vec::new(),
+                    indexed_id: None,
                 });
                 self.parse_relative_path_into(&mut trailing)?;
             } else if self.eat(&TokenKind::Slash) {
@@ -256,6 +257,7 @@ impl Parser {
                 axis: Axis::DescendantOrSelf,
                 test: NodeTest::Node,
                 predicates: Vec::new(),
+                indexed_id: None,
             });
             self.parse_relative_path_into(&mut steps)?;
         } else if self.eat(&TokenKind::Slash) {
@@ -293,6 +295,7 @@ impl Parser {
                     axis: Axis::DescendantOrSelf,
                     test: NodeTest::Node,
                     predicates: Vec::new(),
+                    indexed_id: None,
                 });
                 steps.push(self.parse_step()?);
             } else if self.eat(&TokenKind::Slash) {
@@ -310,6 +313,7 @@ impl Parser {
                 axis: Axis::SelfAxis,
                 test: NodeTest::Node,
                 predicates: Vec::new(),
+                indexed_id: None,
             });
         }
         if self.eat(&TokenKind::DotDot) {
@@ -317,6 +321,7 @@ impl Parser {
                 axis: Axis::Parent,
                 test: NodeTest::Node,
                 predicates: Vec::new(),
+                indexed_id: None,
             });
         }
         let axis = if self.eat(&TokenKind::At) {
@@ -366,7 +371,7 @@ impl Parser {
         while self.peek() == Some(&TokenKind::LBracket) {
             predicates.push(self.parse_predicate()?);
         }
-        Ok(Step { axis, test, predicates })
+        Ok(Step { axis, test, predicates, indexed_id: None })
     }
 
     fn parse_predicate(&mut self) -> XPathResult<Expr> {

@@ -1,5 +1,7 @@
 //! XPath 1.0 values and the type conversion / comparison rules.
 
+use std::borrow::Cow;
+
 use sensorxml::{Document, NodeId};
 
 /// A node reference inside a node-set: either a tree node (element or text)
@@ -21,14 +23,32 @@ pub enum XNode {
 impl XNode {
     /// The XPath string-value of the node.
     pub fn string_value(&self, doc: &Document) -> String {
-        match *self {
-            XNode::Document => doc.root().map(|r| doc.text_content(r)).unwrap_or_default(),
-            XNode::Node(id) => doc.text_content(id),
-            XNode::Attr(id, idx) => doc
-                .attrs(id)
-                .get(idx as usize)
-                .map(|a| a.value.clone())
-                .unwrap_or_default(),
+        self.string_value_cow(doc).into_owned()
+    }
+
+    /// The string-value without allocating in the common cases: attribute
+    /// values and leaf elements with zero or one text child borrow from the
+    /// document (via [`Document::text_content_fast`]); only mixed-content
+    /// concatenation allocates. Comparison predicates — the hot path of
+    /// every query — go through this.
+    pub fn string_value_cow<'d>(&self, doc: &'d Document) -> Cow<'d, str> {
+        let node = match *self {
+            XNode::Document => match doc.root() {
+                Some(r) => r,
+                None => return Cow::Borrowed(""),
+            },
+            XNode::Node(id) => id,
+            XNode::Attr(id, idx) => {
+                return doc
+                    .attrs(id)
+                    .get(idx as usize)
+                    .map(|a| Cow::Borrowed(a.value.as_str()))
+                    .unwrap_or_default();
+            }
+        };
+        match doc.text_content_fast(node) {
+            Some(s) => Cow::Borrowed(s),
+            None => Cow::Owned(doc.text_content(node)),
         }
     }
 
@@ -188,17 +208,17 @@ pub fn compare(op: CmpOp, a: &Value, b: &Value, doc: &Document) -> bool {
     use Value::*;
     match (a, b) {
         (Nodes(na), Nodes(nb)) => na.iter().any(|x| {
-            let sx = x.string_value(doc);
-            nb.iter().any(|y| op.str(&sx, &y.string_value(doc)))
+            let sx = x.string_value_cow(doc);
+            nb.iter().any(|y| op.str(&sx, &y.string_value_cow(doc)))
         }),
         (Nodes(ns), Num(n)) => ns
             .iter()
-            .any(|x| op.num(string_to_number(&x.string_value(doc)), *n)),
+            .any(|x| op.num(string_to_number(&x.string_value_cow(doc)), *n)),
         (Num(n), Nodes(ns)) => ns
             .iter()
-            .any(|x| op.num(*n, string_to_number(&x.string_value(doc)))),
-        (Nodes(ns), Str(s)) => ns.iter().any(|x| op.str(&x.string_value(doc), s)),
-        (Str(s), Nodes(ns)) => ns.iter().any(|x| op.str(s, &x.string_value(doc))),
+            .any(|x| op.num(*n, string_to_number(&x.string_value_cow(doc)))),
+        (Nodes(ns), Str(s)) => ns.iter().any(|x| op.str(&x.string_value_cow(doc), s)),
+        (Str(s), Nodes(ns)) => ns.iter().any(|x| op.str(s, &x.string_value_cow(doc))),
         (Nodes(_), Bool(bv)) => op_bool(op, a.boolean(), *bv, doc, a, b),
         (Bool(bv), Nodes(_)) => op_bool(op, *bv, b.boolean(), doc, a, b),
         _ => {

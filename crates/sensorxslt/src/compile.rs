@@ -30,7 +30,9 @@ pub struct Compiled {
 pub fn compile(sheet: Stylesheet) -> XsltResult<Compiled> {
     let mut parsed = Vec::with_capacity(sheet.exprs.len());
     for src in &sheet.exprs {
-        parsed.push(sensorxpath::parse(src)?);
+        let mut e = sensorxpath::parse(src)?;
+        sensorxpath::mark_index_hints(&mut e);
+        parsed.push(e);
     }
     let mut index: HashMap<(Option<String>, Option<String>), Vec<usize>> = HashMap::new();
     for (i, t) in sheet.templates.iter().enumerate() {
@@ -57,7 +59,9 @@ impl Compiled {
             if i >= self.parsed.len() {
                 return Err(XsltError::BadSlot(i));
             }
-            self.parsed[i] = sensorxpath::parse(src)?;
+            let mut e = sensorxpath::parse(src)?;
+            sensorxpath::mark_index_hints(&mut e);
+            self.parsed[i] = e;
             self.sheet.exprs[i] = src.clone();
         }
         Ok(())

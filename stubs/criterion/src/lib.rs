@@ -1,0 +1,239 @@
+//! Offline drop-in subset of the `criterion` bench harness.
+//!
+//! The build environment has no crates registry, so the workspace vendors a
+//! minimal harness with the same macro/API shape the benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter` / `iter_batched`, and `BatchSize`. Measurement is a
+//! simple calibrate-then-run mean (no outlier analysis or HTML reports);
+//! results print to stdout and, when `CRITERION_JSONL` is set, append as
+//! JSON lines `{"name": ..., "mean_ns": ...}` for scripts to collect.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batches are sized in `iter_batched`; the stub times the routine per
+/// batch element regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark measurement state handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Target wall-clock budget for the measured phase.
+    budget: Duration,
+    /// Filled in by `iter`/`iter_batched`: (total measured ns, iterations).
+    measured: Option<(u128, u64)>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher { budget, measured: None }
+    }
+
+    /// Calibrates an iteration count against the budget, then measures.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up + calibration: run until ~10% of budget is spent.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < self.budget / 10 || calib_iters < 3 {
+            black_box(f());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_nanos() / u128::from(calib_iters.max(1));
+        let n = (self.budget.as_nanos() / per_iter.max(1)).clamp(3, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.measured = Some((start.elapsed().as_nanos(), n));
+    }
+
+    /// Like `iter`, but excludes `setup` time from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        let mut measured_calib: u128 = 0;
+        while calib_start.elapsed() < self.budget / 5 || calib_iters < 3 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured_calib += t.elapsed().as_nanos();
+            calib_iters += 1;
+            if calib_iters >= 100_000 {
+                break;
+            }
+        }
+        let per_iter = measured_calib / u128::from(calib_iters.max(1));
+        let n = (self.budget.as_nanos() / per_iter.max(1)).clamp(3, 1_000_000) as u64;
+        let mut total: u128 = 0;
+        for _ in 0..n {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed().as_nanos();
+        }
+        self.measured = Some((total, n));
+    }
+}
+
+/// The bench harness: runs named benchmarks and records their mean times.
+pub struct Criterion {
+    filters: Vec<String>,
+    budget: Duration,
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            budget: Duration::from_millis(
+                std::env::var("CRITERION_BUDGET_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(300),
+            ),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from CLI args: non-flag args are substring filters
+    /// (`cargo bench -- fragment` runs only benches containing "fragment").
+    pub fn from_args() -> Criterion {
+        Criterion {
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
+            ..Criterion::default()
+        }
+    }
+
+    pub fn configure_from_args(self) -> Criterion {
+        let mut c = self;
+        c.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        c
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| name.contains(p.as_str())) {
+            return self;
+        }
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        match b.measured {
+            Some((total_ns, iters)) if iters > 0 => {
+                let mean = total_ns as f64 / iters as f64;
+                println!("{name:<44} time: {:>12} ({iters} iters)", fmt_ns(mean));
+                self.results.push((name.to_string(), mean));
+            }
+            _ => println!("{name:<44} time: <not measured>"),
+        }
+        self
+    }
+
+    /// Writes collected results as JSON lines when `CRITERION_JSONL` names a
+    /// file. Called by `criterion_main!`; harmless to call twice.
+    pub fn finish(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSONL") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        else {
+            eprintln!("criterion stub: cannot open {path}");
+            return;
+        };
+        for (name, mean) in self.results.drain(..) {
+            let _ = writeln!(f, "{{\"name\": \"{name}\", \"mean_ns\": {mean:.1}}}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            ..Criterion::default()
+        };
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(5),
+            filters: vec!["yes".into()],
+            ..Criterion::default()
+        };
+        c.bench_function("no/match", |b| b.iter(|| 1));
+        c.bench_function("yes/match", |b| b.iter(|| 1));
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].0, "yes/match");
+    }
+}

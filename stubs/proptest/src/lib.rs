@@ -1,0 +1,752 @@
+//! Offline drop-in subset of the `proptest` property-testing API.
+//!
+//! No crates registry is reachable from the build environment, so the
+//! workspace vendors the slice of `proptest` its tests use: the
+//! `proptest!` / `prop_oneof!` / `prop_assert!` macros, `Strategy` with
+//! `prop_map` / `prop_recursive`, `Just`, `any`, integer-range and
+//! regex-pattern string strategies, `collection::vec`, and `option::of`.
+//!
+//! Two deliberate simplifications versus real proptest:
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (which is what the repo's deterministic-seed debugging workflow uses)
+//!   but does not minimize them.
+//! * **Regex strategies** support the subset the tests use: literal chars,
+//!   `.`, character classes with ranges/escapes, and `{m,n}`/`*`/`+`/`?`
+//!   quantifiers — not full regex syntax.
+//!
+//! Case counts honor `ProptestConfig::with_cases` and the
+//! `PROPTEST_CASES` environment variable (for the default config); the RNG
+//! is seeded per process from `PROPTEST_RNG_SEED` when set, otherwise from
+//! OS entropy, and every failure message includes the generated values.
+
+pub mod test_runner {
+    use std::fmt;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Per-test configuration; only `cases` is meaningful in the stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single test case failed (the stub has no rejection/shrinking).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn process_seed() -> u64 {
+        if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(n) = s.parse() {
+                return n;
+            }
+        }
+        // RandomState is seeded from OS entropy once per process.
+        std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish()
+    }
+
+    /// SplitMix64 stream; each `from_entropy` gets a distinct substream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_entropy() -> TestRng {
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            TestRng {
+                state: process_seed() ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    /// Prints the generated inputs if the test body panics (`mem::forget`
+    /// it on the success path).
+    pub struct PanicReporter {
+        case: u32,
+        inputs: String,
+    }
+
+    impl PanicReporter {
+        pub fn new(case: u32, inputs: String) -> PanicReporter {
+            PanicReporter { case, inputs }
+        }
+    }
+
+    impl Drop for PanicReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: panic in case {} with inputs:\n{}",
+                    self.case, self.inputs
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of `T` values: the universal strategy representation all
+    /// combinators lower into.
+    pub struct Strat<T> {
+        f: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for Strat<T> {
+        fn clone(&self) -> Self {
+            Strat { f: self.f.clone() }
+        }
+    }
+
+    impl<T: 'static> Strat<T> {
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Strat<T> {
+            Strat { f: Rc::new(f) }
+        }
+    }
+
+    impl<T> Strat<T> {
+        pub fn call(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    /// The strategy interface: anything that can lower into a [`Strat`].
+    pub trait Strategy {
+        type Value;
+
+        fn into_strat(self) -> Strat<Self::Value>;
+
+        fn prop_map<U: 'static, F>(self, f: F) -> Strat<U>
+        where
+            Self: Sized,
+            Self::Value: 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let s = self.into_strat();
+            Strat::new(move |rng| f(s.call(rng)))
+        }
+
+        /// Bounded recursion: applies `f` up to `depth` times over the base
+        /// strategy, choosing the shallower alternative ~25% of the time at
+        /// each level so generated sizes vary.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            mut f: F,
+        ) -> Strat<Self::Value>
+        where
+            Self: Sized,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value>,
+            F: FnMut(Strat<Self::Value>) -> S2,
+        {
+            let base = self.into_strat();
+            let mut cur = base.clone();
+            for _ in 0..depth {
+                let deeper = f(cur).into_strat();
+                let shallow = base.clone();
+                cur = Strat::new(move |rng| {
+                    if rng.below(4) == 0 {
+                        shallow.call(rng)
+                    } else {
+                        deeper.call(rng)
+                    }
+                });
+            }
+            cur
+        }
+    }
+
+    impl<T> Strategy for Strat<T> {
+        type Value = T;
+
+        fn into_strat(self) -> Strat<T> {
+            self
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+
+        fn into_strat(self) -> Strat<T> {
+            Strat::new(move |_| self.0.clone())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn into_strat(self) -> Strat<$t> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    Strat::new(move |rng| {
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        self.start.wrapping_add(rng.below(span) as $t)
+                    })
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn into_strat(self) -> Strat<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    Strat::new(move |rng| {
+                        let span = (hi as i128 - lo as i128 + 1) as u64;
+                        lo.wrapping_add(rng.below(span) as $t)
+                    })
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $v:ident),+))*) => {$(
+            impl<$($s),+> Strategy for ($($s,)+)
+            where
+                $($s: Strategy, $s::Value: 'static,)+
+            {
+                type Value = ($($s::Value,)+);
+                fn into_strat(self) -> Strat<Self::Value> {
+                    #[allow(non_snake_case)]
+                    let ($($v,)+) = self;
+                    $(
+                        #[allow(non_snake_case)]
+                        let $v = $v.into_strat();
+                    )+
+                    Strat::new(move |rng| ($($v.call(rng),)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A a)
+        (A a, B b)
+        (A a, B b, C c)
+        (A a, B b, C c, D d)
+        (A a, B b, C c, D d, E e)
+        (A a, B b, C c, D d, E e, F f)
+    }
+
+    /// Uniform choice between lowered alternatives (`prop_oneof!`).
+    pub fn union<T: 'static>(arms: Vec<Strat<T>>) -> Strat<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Strat::new(move |rng| arms[rng.below(arms.len() as u64) as usize].call(rng))
+    }
+
+    /// Weighted choice between lowered alternatives.
+    pub fn union_weighted<T: 'static>(arms: Vec<(u32, Strat<T>)>) -> Strat<T> {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights must sum to > 0");
+        Strat::new(move |rng| {
+            let mut pick = rng.below(total);
+            for (w, s) in &arms {
+                if pick < u64::from(*w) {
+                    return s.call(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weight bookkeeping")
+        })
+    }
+
+    // ---- regex-subset string strategies (`"[a-z]{0,10}"` etc.) ----
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Any,
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<Piece> {
+        let mut chars = pat.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => Atom::Class(parse_class(&mut chars, pat)),
+                '\\' => Atom::Lit(chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in pattern {pat:?}")
+                })),
+                _ => Atom::Lit(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for q in chars.by_ref() {
+                        if q == '}' {
+                            break;
+                        }
+                        spec.push(q);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().unwrap_or(0),
+                            n.trim().parse().unwrap_or(8),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pat: &str,
+    ) -> Vec<(char, char)> {
+        // Tokenize up to the closing bracket, resolving escapes, then fold
+        // `a-z` triples into ranges. A `-` first, last, or escaped is literal.
+        #[derive(PartialEq)]
+        enum Tok {
+            Ch(char),
+            Dash,
+        }
+        let mut toks = Vec::new();
+        loop {
+            match chars.next() {
+                None => panic!("unterminated character class in pattern {pat:?}"),
+                Some(']') => break,
+                Some('\\') => toks.push(Tok::Ch(chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in pattern {pat:?}")
+                }))),
+                Some('-') => toks.push(Tok::Dash),
+                Some(c) => toks.push(Tok::Ch(c)),
+            }
+        }
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            match (&toks[i], toks.get(i + 1), toks.get(i + 2)) {
+                (Tok::Ch(a), Some(Tok::Dash), Some(Tok::Ch(b))) => {
+                    out.push((*a, *b));
+                    i += 3;
+                }
+                (Tok::Ch(a), ..) => {
+                    out.push((*a, *a));
+                    i += 1;
+                }
+                (Tok::Dash, ..) => {
+                    out.push(('-', '-'));
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn sample_pattern(pieces: &[Piece], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for p in pieces {
+            let span = u64::from(p.max - p.min + 1);
+            let n = p.min + rng.below(span) as u32;
+            for _ in 0..n {
+                match &p.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Any => out.push((0x20 + rng.below(0x5F) as u8) as char),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let code = lo as u32 + rng.below(u64::from(span)) as u32;
+                        out.push(char::from_u32(code).unwrap_or(lo));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn into_strat(self) -> Strat<String> {
+            let pieces = parse_pattern(self);
+            Strat::new(move |rng| sample_pattern(&pieces, rng))
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strat;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn strat() -> Strat<Self>;
+    }
+
+    pub fn any<A: Arbitrary>() -> Strat<A> {
+        A::strat()
+    }
+
+    impl Arbitrary for bool {
+        fn strat() -> Strat<bool> {
+            Strat::new(|rng: &mut TestRng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn strat() -> Strat<$t> {
+                    Strat::new(|rng: &mut TestRng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for char {
+        fn strat() -> Strat<char> {
+            Strat::new(|rng: &mut TestRng| {
+                char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+            })
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strat, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Sizes accepted by [`vec`]: a fixed count or a (half-open/inclusive)
+    /// range of counts.
+    pub trait SizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// `Vec<T>` strategy with a length drawn from `size`.
+    pub fn vec<S>(element: S, size: impl SizeRange) -> Strat<Vec<S::Value>>
+    where
+        S: Strategy,
+        S::Value: 'static,
+    {
+        let (lo, hi) = size.bounds();
+        let element = element.into_strat();
+        Strat::new(move |rng| {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| element.call(rng)).collect()
+        })
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strat, Strategy};
+
+    /// `Option<T>` strategy: `None` about a quarter of the time.
+    pub fn of<S>(inner: S) -> Strat<Option<S::Value>>
+    where
+        S: Strategy,
+        S::Value: 'static,
+    {
+        let inner = inner.into_strat();
+        Strat::new(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.call(rng))
+            }
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strat, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each function runs `config.cases` times with
+/// freshly generated inputs; failures report the generated values.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::from_entropy();
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::into_strat($strat).call(&mut __rng);
+                )+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let __guard =
+                    $crate::test_runner::PanicReporter::new(__case, __inputs.clone());
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                ::std::mem::forget(__guard);
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest: case {} failed: {}\ninputs:\n{}",
+                        __case, e, __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform (or `weight => strategy` weighted) choice between strategies
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $s:expr),+ $(,)?) => {
+        $crate::strategy::union_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::into_strat($s))),+
+        ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::into_strat($s)),+
+        ])
+    };
+}
+
+/// Fails the current case (with formatted context) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} == {:?}", __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} == {:?}: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {:?} != {:?}", __l, __r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(usize),
+        B(bool),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(prop_oneof![
+                (0usize..5).prop_map(Op::A),
+                any::<bool>().prop_map(Op::B),
+            ], 1..20),
+            o in crate::option::of(0i64..3),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            if let Some(n) = o {
+                prop_assert!((0..3).contains(&n));
+            }
+        }
+
+        #[test]
+        fn string_patterns_match_shape(
+            s in "[a-c]{2,4}",
+            t in ".{0,5}",
+            u in "[<>/=a-z'\" &;!?\\[\\]-]{0,15}",
+        ) {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.chars().count() <= 5);
+            prop_assert!(u.chars().all(|c| "<>/=\'\" &;!?[]-".contains(c)
+                || c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn recursion_terminates(depth_str in recursive_strat()) {
+            prop_assert!(depth_str.len() < 10_000);
+        }
+    }
+
+    fn recursive_strat() -> impl Strategy<Value = String> {
+        Just("x".to_string()).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}{b})"))
+        })
+    }
+
+    #[test]
+    fn early_return_ok_supported() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(dead_code)]
+            fn inner(x in 0usize..2) {
+                if x == 0 {
+                    return Ok(());
+                }
+                prop_assert_eq!(x, 1);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,284 @@
+//! Property tests for the sibling index: after *any* sequence of mutations
+//! — child appends/removals, id attribute flips, fragment merges, cache
+//! eviction, schema-change deletions, arena compaction — every indexed
+//! lookup must agree with the linear sibling scan it replaces, and the
+//! structural self-check [`sensorxml::Document::check_sibling_index`] must
+//! hold.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use irisnet_bench::{DbParams, ParkingDb};
+use irisnet_core::{IdPath, SiteDatabase};
+use sensorxml::{Document, NodeId};
+
+const TAGS: &[&str] = &["block", "space", "misc"];
+const IDS: &[&str] = &["0", "1", "2", "3", "4", "5", "6", "7", "8", "9"];
+
+/// One mutation against a parent element's child list.
+#[derive(Debug, Clone)]
+enum DomOp {
+    /// Append a `<TAGS[tag]>` child, with `id="IDS[i]"` when `id` is Some.
+    Append { parent: usize, tag: usize, id: Option<usize> },
+    /// Detach the child at (current-children modulo) `slot`.
+    Remove { parent: usize, slot: usize },
+    /// Set the id attribute of the child at `slot` to `IDS[id]`.
+    SetId { parent: usize, slot: usize, id: usize },
+    /// Remove the id attribute of the child at `slot`.
+    ClearId { parent: usize, slot: usize },
+    /// Set an index-irrelevant attribute on the child at `slot`.
+    SetOther { parent: usize, slot: usize },
+}
+
+fn dom_op_strategy() -> impl Strategy<Value = DomOp> {
+    let parent = 0usize..2;
+    prop_oneof![
+        3 => (parent.clone(), 0..TAGS.len(), proptest::option::of(0..IDS.len()))
+            .prop_map(|(parent, tag, id)| DomOp::Append { parent, tag, id }),
+        1 => (parent.clone(), 0usize..64).prop_map(|(parent, slot)| DomOp::Remove { parent, slot }),
+        2 => (parent.clone(), 0usize..64, 0..IDS.len())
+            .prop_map(|(parent, slot, id)| DomOp::SetId { parent, slot, id }),
+        1 => (parent.clone(), 0usize..64).prop_map(|(parent, slot)| DomOp::ClearId { parent, slot }),
+        1 => (parent, 0usize..64).prop_map(|(parent, slot)| DomOp::SetOther { parent, slot }),
+    ]
+}
+
+/// Asserts every lookup the index answers matches its linear oracle.
+fn assert_lookups_match(doc: &Document, parent: NodeId) -> Result<(), TestCaseError> {
+    for tag in TAGS {
+        prop_assert_eq!(
+            doc.child_by_name(parent, tag),
+            doc.child_by_name_linear(parent, tag),
+            "child_by_name({}) diverged (indexed: {})",
+            tag,
+            doc.has_sibling_index(parent)
+        );
+        for id in IDS {
+            prop_assert_eq!(
+                doc.child_by_name_id(parent, tag, id),
+                doc.child_by_name_id_linear(parent, tag, id),
+                "child_by_name_id({}, {}) diverged",
+                tag,
+                id
+            );
+            let all: Vec<NodeId> = doc
+                .child_elements(parent)
+                .filter(|&c| doc.name(c) == *tag && doc.attr(c, "id") == Some(id))
+                .collect();
+            prop_assert_eq!(
+                doc.children_by_name_id(parent, tag, id),
+                all,
+                "children_by_name_id({}, {}) diverged",
+                tag,
+                id
+            );
+        }
+    }
+    Ok(())
+}
+
+fn tiny_params() -> DbParams {
+    DbParams {
+        cities: 2,
+        neighborhoods_per_city: 2,
+        blocks_per_neighborhood: 3,
+        spaces_per_block: 2,
+    }
+}
+
+/// Cache-layer operations whose index-maintenance paths differ: fragment
+/// merge, eviction, sensor updates, IDable schema changes, compaction.
+#[derive(Debug, Clone)]
+enum DbOp {
+    /// Owner exports the subtree at path `i`; the cache merges it.
+    Cache(usize),
+    /// Cache evicts the node at path `i` (refusal is fine).
+    Evict(usize),
+    /// Owner applies a sensor update to space `i`.
+    Update(usize, bool),
+    /// Owner grows block `b` with a new space `IDS[id]` (schema change).
+    AddSpace(usize, usize),
+    /// Owner deletes space `IDS[id]` from block `b` (schema-change
+    /// deletion; refusal when absent is fine).
+    RemoveSpace(usize, usize),
+    /// Compact the cache arena.
+    Compact,
+}
+
+fn db_op_strategy(paths: usize, spaces: usize, blocks: usize) -> impl Strategy<Value = DbOp> {
+    prop_oneof![
+        3 => (0..paths).prop_map(DbOp::Cache),
+        2 => (0..paths).prop_map(DbOp::Evict),
+        2 => (0..spaces, any::<bool>()).prop_map(|(i, a)| DbOp::Update(i, a)),
+        2 => (0..blocks, 0..IDS.len()).prop_map(|(b, id)| DbOp::AddSpace(b, id)),
+        2 => (0..blocks, 0..IDS.len()).prop_map(|(b, id)| DbOp::RemoveSpace(b, id)),
+        1 => Just(DbOp::Compact),
+    ]
+}
+
+/// Every IDable path of the tiny database.
+fn all_paths(db: &ParkingDb) -> Vec<IdPath> {
+    let mut out = vec![db.root_path(), db.root_path().child("state", "PA"), db.county_path()];
+    for ci in 0..db.params.cities {
+        out.push(db.city_path(ci));
+        for ni in 0..db.params.neighborhoods_per_city {
+            out.push(db.neighborhood_path(ci, ni));
+            for bi in 0..db.params.blocks_per_neighborhood {
+                out.push(db.block_path(ci, ni, bi));
+                for si in 0..db.params.spaces_per_block {
+                    out.push(db.space_path(ci, ni, bi, si));
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+
+    /// DOM level: arbitrary append/remove/set-id/clear-id sequences against
+    /// two parents (crossing the lazy-build threshold in both directions,
+    /// with deliberate duplicate (tag, id) keys) keep every indexed lookup
+    /// identical to the linear scan and the index structurally exact.
+    #[test]
+    fn indexed_lookups_match_linear_scans(
+        ops in proptest::collection::vec(dom_op_strategy(), 1..60),
+    ) {
+        let (mut doc, root) = Document::with_root("r");
+        let mut parents = Vec::new();
+        for _ in 0..2 {
+            let p = doc.create_element("zone");
+            doc.append_child(root, p);
+            parents.push(p);
+        }
+        for op in ops {
+            match op {
+                DomOp::Append { parent, tag, id } => {
+                    let p = parents[parent];
+                    let c = doc.create_element(TAGS[tag]);
+                    if let Some(i) = id {
+                        doc.set_attr(c, "id", IDS[i]);
+                    }
+                    doc.append_child(p, c);
+                }
+                DomOp::Remove { parent, slot } => {
+                    let p = parents[parent];
+                    let kids = doc.children(p);
+                    if !kids.is_empty() {
+                        let victim = kids[slot % kids.len()];
+                        doc.detach(victim);
+                    }
+                }
+                DomOp::SetId { parent, slot, id } => {
+                    let p = parents[parent];
+                    let kids = doc.children(p);
+                    if !kids.is_empty() {
+                        let c = kids[slot % kids.len()];
+                        doc.set_attr(c, "id", IDS[id]);
+                    }
+                }
+                DomOp::ClearId { parent, slot } => {
+                    let p = parents[parent];
+                    let kids = doc.children(p);
+                    if !kids.is_empty() {
+                        let c = kids[slot % kids.len()];
+                        doc.remove_attr(c, "id");
+                    }
+                }
+                DomOp::SetOther { parent, slot } => {
+                    let p = parents[parent];
+                    let kids = doc.children(p);
+                    if !kids.is_empty() {
+                        let c = kids[slot % kids.len()];
+                        doc.set_attr(c, "zipcode", "15213");
+                    }
+                }
+            }
+            prop_assert!(
+                doc.check_sibling_index().is_ok(),
+                "index self-check failed: {:?}",
+                doc.check_sibling_index()
+            );
+            for &p in &parents {
+                assert_lookups_match(&doc, p)?;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// Cache level: merge / evict / update / IDable schema add + delete /
+    /// compact sequences keep both site databases' indexes exact, and
+    /// id-path resolution (which runs through the index) agrees with a
+    /// purely linear resolver on every IDable path.
+    #[test]
+    fn cache_churn_keeps_index_and_resolution_exact(
+        ops in proptest::collection::vec(db_op_strategy(22, 48, 12), 1..25),
+        owner_city in 0usize..2,
+    ) {
+        let db = ParkingDb::generate(tiny_params(), 9);
+        let paths = all_paths(&db);
+        let spaces = db.all_space_paths();
+        let blocks = db.all_block_paths();
+
+        let mut owner = SiteDatabase::new(db.service.clone());
+        owner.bootstrap_owned(&db.master, &db.root_path(), true).unwrap();
+        let mut cache = SiteDatabase::new(db.service.clone());
+        cache
+            .bootstrap_owned(&db.master, &db.city_path(owner_city), false)
+            .unwrap();
+
+        let mut now = 1.0f64;
+        for op in ops {
+            now += 1.0;
+            match op {
+                DbOp::Cache(i) => {
+                    let p = &paths[i % paths.len()];
+                    // Export legitimately fails once a schema change deleted
+                    // the node; only successful exports get merged.
+                    if let Ok(frag) = owner.export_subtrees(std::slice::from_ref(p)) {
+                        cache.merge_fragment(&frag).unwrap();
+                    }
+                }
+                DbOp::Evict(i) => {
+                    let _ = cache.evict(&paths[i % paths.len()]);
+                }
+                DbOp::Update(i, avail) => {
+                    let p = &spaces[i % spaces.len()];
+                    let v = if avail { "yes" } else { "no" };
+                    // Refusal is fine once the space was schema-deleted.
+                    let _ = owner.apply_update(p, &[("available".into(), v.into())], now);
+                }
+                DbOp::AddSpace(b, id) => {
+                    let block = &blocks[b % blocks.len()];
+                    let _ = owner.schema_add_idable_child(block, "parkingSpace", IDS[id], now);
+                }
+                DbOp::RemoveSpace(b, id) => {
+                    let block = &blocks[b % blocks.len()];
+                    let _ = owner.schema_remove_idable_child(block, "parkingSpace", IDS[id], now);
+                }
+                DbOp::Compact => {
+                    cache.compact();
+                }
+            }
+            for site in [&owner, &cache] {
+                prop_assert!(
+                    site.doc().check_sibling_index().is_ok(),
+                    "index self-check failed: {:?}",
+                    site.doc().check_sibling_index()
+                );
+                for p in &paths {
+                    prop_assert_eq!(
+                        p.resolve(site.doc()),
+                        p.resolve_linear(site.doc()),
+                        "resolution diverged at {}",
+                        p
+                    );
+                }
+            }
+        }
+    }
+}
