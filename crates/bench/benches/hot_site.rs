@@ -1,0 +1,65 @@
+//! Hot-site throughput: concurrent client threads hammer a single owner
+//! site with a read-mostly t1/t3 mix while the site's read-worker pool
+//! grows (1/2/4/8 workers). The number that matters is queries/second vs
+//! worker count — the intra-site scaling the read/mutation split buys.
+//! `scripts/bench_smoke.sh` folds these means into BENCH_PR2.json.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irisdns::SiteAddr;
+use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{OaConfig, OrganizingAgent};
+use simnet::LiveCluster;
+
+/// Client threads × queries each per measured iteration. bench_smoke.sh
+/// divides these 64 queries by the mean iteration time to get queries/sec.
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 8;
+
+fn bench_hot_site(c: &mut Criterion) {
+    let db = Arc::new(ParkingDb::generate(DbParams::small(), 1));
+
+    // Deterministic per-client query sequences: alternating fully-specified
+    // t1 and two-neighborhood t3 queries, all answered by the one owner.
+    let mixes: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|t| {
+            let mut w1 = Workload::uniform(&db, QueryType::T1, 100 + t as u64);
+            let mut w3 = Workload::uniform(&db, QueryType::T3, 200 + t as u64);
+            (0..QUERIES_PER_CLIENT)
+                .map(|i| if i % 2 == 0 { w1.next_query() } else { w3.next_query() })
+                .collect()
+        })
+        .collect();
+
+    for workers in [0usize, 1, 2, 4, 8] {
+        let mut cluster = LiveCluster::new(db.service.clone());
+        let oa = OrganizingAgent::new(SiteAddr(1), db.service.clone(), OaConfig::default());
+        oa.db_mut().bootstrap_owned(&db.master, &db.root_path(), true).unwrap();
+        cluster.register_owner(&db.root_path(), SiteAddr(1));
+        cluster.add_site_with_workers(oa, workers);
+        let clients: Vec<_> = (0..CLIENTS).map(|_| cluster.client()).collect();
+
+        c.bench_function(&format!("hot_site/mix_w{workers}"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for (cl, mix) in clients.iter().zip(&mixes) {
+                        s.spawn(move || {
+                            for q in mix {
+                                let r = cl
+                                    .pose_query_at(q, SiteAddr(1), Duration::from_secs(30))
+                                    .expect("hot-site reply");
+                                assert!(r.ok, "query failed: {q}");
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        cluster.shutdown();
+    }
+}
+
+criterion_group!(benches, bench_hot_site);
+criterion_main!(benches);

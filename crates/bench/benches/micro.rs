@@ -110,12 +110,12 @@ fn bench_qeg_creation(c: &mut Criterion) {
     let expr = sensorxpath::parse(Q1).unwrap();
     let plan = plan_query(&expr, &db.service).unwrap();
 
-    let mut naive = QegFactory::new(db.service.clone(), XsltCreation::Naive);
+    let naive = QegFactory::new(db.service.clone(), XsltCreation::Naive);
     c.bench_function("qeg/create_naive", |b| {
         b.iter(|| naive.create(black_box(&plan)).unwrap())
     });
 
-    let mut fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
+    let fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
     fast.create(&plan).unwrap(); // prime the skeleton
     c.bench_function("qeg/create_fast_patched", |b| {
         b.iter(|| fast.create(black_box(&plan)).unwrap())
@@ -128,7 +128,7 @@ fn bench_qeg_execution(c: &mut Criterion) {
         let (db, site) = nbhd_db(params);
         let expr = sensorxpath::parse(Q1).unwrap();
         let plan = plan_query(&expr, &db.service).unwrap();
-        let mut fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
+        let fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
         let prog = fast.create(&plan).unwrap();
         c.bench_function(&format!("qeg/execute_nbhd_{label}"), |b| {
             b.iter(|| prog.execute(black_box(&site), 0.0).unwrap())
@@ -141,7 +141,7 @@ fn bench_qeg_execution(c: &mut Criterion) {
     // hints stripped: the pre-index baseline.
     for (label, params) in [("small", DbParams::small()), ("large8x", DbParams::large())] {
         let (db, site) = root_db(params);
-        let mut fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
+        let fast = QegFactory::new(db.service.clone(), XsltCreation::Fast);
         for (qlabel, q) in [("t1", Q1), ("t3", Q3)] {
             let expr = sensorxpath::parse(q).unwrap();
             let plan = plan_query(&expr, &db.service).unwrap();

@@ -85,9 +85,9 @@ fn oa(addr: u32, db: &ParkingDb, config: &OaConfig) -> OrganizingAgent {
 
 fn build_centralized(db: &ParkingDb, costs: CostModel, config: OaConfig) -> BuiltCluster {
     let mut sim = DesCluster::new(costs);
-    let mut central = oa(1, db, &config);
+    let central = oa(1, db, &config);
     central
-        .db
+        .db_mut()
         .bootstrap_owned(&db.master, &db.root_path(), true)
         .expect("bootstrap centralized");
     sim.dns
@@ -112,25 +112,25 @@ fn build_central_query(
     dns_blocks: bool,
 ) -> BuiltCluster {
     let mut sim = DesCluster::new(costs);
-    let mut central = oa(1, db, &config);
+    let central = oa(1, db, &config);
     // Central owns the hierarchy down to the neighborhoods (nodes only —
     // block content lives on the worker sites).
     central
-        .db
+        .db_mut()
         .bootstrap_owned(&db.master, &db.root_path(), false)
         .expect("root");
     let mut chain = db.root_path().child("state", "PA");
-    central.db.bootstrap_owned(&db.master, &chain, false).expect("state");
+    central.db_mut().bootstrap_owned(&db.master, &chain, false).expect("state");
     chain = chain.child("county", "Allegheny");
-    central.db.bootstrap_owned(&db.master, &chain, false).expect("county");
+    central.db_mut().bootstrap_owned(&db.master, &chain, false).expect("county");
     for ci in 0..db.params.cities {
         central
-            .db
+            .db_mut()
             .bootstrap_owned(&db.master, &db.city_path(ci), false)
             .expect("city");
         for ni in 0..db.params.neighborhoods_per_city {
             central
-                .db
+                .db_mut()
                 .bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), false)
                 .expect("neighborhood");
         }
@@ -150,7 +150,7 @@ fn build_central_query(
         agents
             .get_mut(&site)
             .expect("worker exists")
-            .db
+            .db_mut()
             .bootstrap_owned(&db.master, &bp, true)
             .expect("block");
         // The mapping is always in the authoritative store (the OAs need
@@ -189,13 +189,13 @@ fn build_hierarchical(
     );
 
     // Site 1: the rest of the hierarchy (root, state, county).
-    let mut top = oa(1, db, &config);
-    top.db
+    let top = oa(1, db, &config);
+    top.db_mut()
         .bootstrap_owned(&db.master, &db.root_path(), false)
         .expect("root");
     let state = db.root_path().child("state", "PA");
-    top.db.bootstrap_owned(&db.master, &state, false).expect("state");
-    top.db
+    top.db_mut().bootstrap_owned(&db.master, &state, false).expect("state");
+    top.db_mut()
         .bootstrap_owned(&db.master, &db.county_path(), false)
         .expect("county");
     sim.dns
@@ -208,8 +208,8 @@ fn build_hierarchical(
     for ci in 0..db.params.cities {
         let addr = SiteAddr(next);
         next += 1;
-        let mut a = oa(addr.0, db, &config);
-        a.db.bootstrap_owned(&db.master, &db.city_path(ci), false)
+        let a = oa(addr.0, db, &config);
+        a.db_mut().bootstrap_owned(&db.master, &db.city_path(ci), false)
             .expect("city");
         sim.dns.register(&db.service.dns_name(&db.city_path(ci)), addr);
         sim.add_site(a);
@@ -222,9 +222,9 @@ fn build_hierarchical(
         for ni in 0..db.params.neighborhoods_per_city {
             let addr = SiteAddr(next);
             next += 1;
-            let mut a = oa(addr.0, db, &config);
+            let a = oa(addr.0, db, &config);
             let np = db.neighborhood_path(ci, ni);
-            a.db.bootstrap_owned(&db.master, &np, true).expect("neighborhood");
+            a.db_mut().bootstrap_owned(&db.master, &np, true).expect("neighborhood");
             sim.dns.register(&db.service.dns_name(&np), addr);
             sim.add_site(a);
             all_sites.push(addr);

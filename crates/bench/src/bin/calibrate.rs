@@ -15,7 +15,7 @@ fn main() {
     // --- T1 local answer at a neighborhood site (400 spaces) ---
     let mut oa = OrganizingAgent::new(SiteAddr(1), db.service.clone(), OaConfig::default());
     let np = db.neighborhood_path(0, 0);
-    oa.db.bootstrap_owned(&db.master, &np, true).unwrap();
+    oa.db_mut().bootstrap_owned(&db.master, &np, true).unwrap();
     dns.register(&db.service.dns_name(&np), SiteAddr(1));
     let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']/city[@id='Pittsburgh']/neighborhood[@id='n1']/block[@id='3']/parkingSpace[available='yes']";
     for i in 0..5 {
@@ -30,7 +30,7 @@ fn main() {
 
     // --- forwarded query at a previous owner ---
     let mut fw = OrganizingAgent::new(SiteAddr(2), db.service.clone(), OaConfig::default());
-    fw.db.bootstrap_owned(&db.master, &np, true).unwrap();
+    fw.db_mut().bootstrap_owned(&db.master, &np, true).unwrap();
     let bp = db.block_path(0, 0, 2);
     let out = fw.handle(Message::Delegate { path: bp.clone(), to: SiteAddr(3) }, &mut dns, 0.0);
     let mut oa3 = OrganizingAgent::new(SiteAddr(3), db.service.clone(), OaConfig::default());
@@ -55,18 +55,18 @@ fn main() {
             db.service.clone(),
             OaConfig { cache: CacheMode::Aggressive, cache_hit_prob: hit_prob, ..OaConfig::default() },
         );
-        city.db
+        city.db_mut()
             .bootstrap_owned(&db.master, &db.city_path(0), false)
             .unwrap();
         dns.register(&db.service.dns_name(&db.city_path(0)), SiteAddr(10));
         let mut nbhds: Vec<OrganizingAgent> = Vec::new();
         for ni in 0..db.params.neighborhoods_per_city {
-            let mut a = OrganizingAgent::new(
+            let a = OrganizingAgent::new(
                 SiteAddr(11 + ni as u32),
                 db.service.clone(),
                 OaConfig::default(),
             );
-            a.db.bootstrap_owned(&db.master, &db.neighborhood_path(0, ni), true)
+            a.db_mut().bootstrap_owned(&db.master, &db.neighborhood_path(0, ni), true)
                 .unwrap();
             dns.register(
                 &db.service.dns_name(&db.neighborhood_path(0, ni)),
@@ -130,7 +130,7 @@ fn main() {
             city.stats.time_exec_xslt * 1000.0 / 500.0,
             city.stats.time_extract * 1000.0 / 500.0,
             city.stats.time_comm * 1000.0 / 500.0,
-            city.db.doc().arena_len(),
+            city.db().doc().arena_len(),
         );
     }
 }

@@ -39,12 +39,12 @@ fn build(db: &ParkingDb, creation: XsltCreation) -> Built {
     let config = OaConfig { creation, cache: CacheMode::Off, ..OaConfig::default() };
     let mut cluster = LiveCluster::new(db.service.clone());
 
-    let mut top = OrganizingAgent::new(SiteAddr(1), db.service.clone(), config.clone());
-    top.db.bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
-    top.db
+    let top = OrganizingAgent::new(SiteAddr(1), db.service.clone(), config.clone());
+    top.db_mut().bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
+    top.db_mut()
         .bootstrap_owned(&db.master, &db.root_path().child("state", "PA"), false)
         .unwrap();
-    top.db.bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
+    top.db_mut().bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
     cluster.register_owner(&db.root_path(), SiteAddr(1));
     cluster.add_site(top);
 
@@ -53,8 +53,8 @@ fn build(db: &ParkingDb, creation: XsltCreation) -> Built {
     for ci in 0..db.params.cities {
         let addr = SiteAddr(next);
         next += 1;
-        let mut a = OrganizingAgent::new(addr, db.service.clone(), config.clone());
-        a.db.bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
+        let a = OrganizingAgent::new(addr, db.service.clone(), config.clone());
+        a.db_mut().bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
         cluster.register_owner(&db.city_path(ci), addr);
         cluster.add_site(a);
         if ci == 0 {
@@ -66,8 +66,8 @@ fn build(db: &ParkingDb, creation: XsltCreation) -> Built {
         for ni in 0..db.params.neighborhoods_per_city {
             let addr = SiteAddr(next);
             next += 1;
-            let mut a = OrganizingAgent::new(addr, db.service.clone(), config.clone());
-            a.db
+            let a = OrganizingAgent::new(addr, db.service.clone(), config.clone());
+            a.db_mut()
                 .bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), true)
                 .unwrap();
             cluster.register_owner(&db.neighborhood_path(ci, ni), addr);

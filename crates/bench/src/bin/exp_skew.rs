@@ -36,19 +36,19 @@ fn balanced(db: &ParkingDb) -> BuiltCluster {
     let mut agents: Vec<OrganizingAgent> = Vec::new();
     let config = OaConfig::default();
     // Site 1: root/state/county nodes.
-    let mut top = OrganizingAgent::new(SiteAddr(1), db.service.clone(), config.clone());
-    top.db.bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
-    top.db
+    let top = OrganizingAgent::new(SiteAddr(1), db.service.clone(), config.clone());
+    top.db_mut().bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
+    top.db_mut()
         .bootstrap_owned(&db.master, &db.root_path().child("state", "PA"), false)
         .unwrap();
-    top.db.bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
+    top.db_mut().bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
     sim.dns.register(&db.service.dns_name(&db.root_path()), SiteAddr(1));
     agents.push(top);
     // Cities on 2..3.
     let mut next = 2u32;
     for ci in 0..db.params.cities {
-        let mut a = OrganizingAgent::new(SiteAddr(next), db.service.clone(), config.clone());
-        a.db.bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
+        let a = OrganizingAgent::new(SiteAddr(next), db.service.clone(), config.clone());
+        a.db_mut().bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
         sim.dns.register(&db.service.dns_name(&db.city_path(ci)), SiteAddr(next));
         agents.push(a);
         next += 1;
@@ -57,11 +57,11 @@ fn balanced(db: &ParkingDb) -> BuiltCluster {
     for ci in 0..db.params.cities {
         for ni in 0..db.params.neighborhoods_per_city {
             let np = db.neighborhood_path(ci, ni);
-            let mut a = OrganizingAgent::new(SiteAddr(next), db.service.clone(), config.clone());
+            let a = OrganizingAgent::new(SiteAddr(next), db.service.clone(), config.clone());
             if np == hot {
-                a.db.bootstrap_owned(&db.master, &np, false).unwrap();
+                a.db_mut().bootstrap_owned(&db.master, &np, false).unwrap();
             } else {
-                a.db.bootstrap_owned(&db.master, &np, true).unwrap();
+                a.db_mut().bootstrap_owned(&db.master, &np, true).unwrap();
             }
             sim.dns.register(&db.service.dns_name(&np), SiteAddr(next));
             agents.push(a);
@@ -74,7 +74,7 @@ fn balanced(db: &ParkingDb) -> BuiltCluster {
         let bp = db.block_path(0, 0, bi);
         let site_idx = bi % total_sites;
         agents[site_idx]
-            .db
+            .db_mut()
             .bootstrap_owned(&db.master, &bp, true)
             .unwrap();
         let addr = agents[site_idx].addr;

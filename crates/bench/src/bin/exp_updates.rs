@@ -27,7 +27,7 @@ fn capacity_run(num_oas: usize, offered_rate: f64, duration: f64) -> f64 {
     let mut sim = DesCluster::new(costs);
 
     // Blocks spread over the OAs; each owns its subtree.
-    let mut agents: Vec<OrganizingAgent> = (1..=num_oas as u32)
+    let agents: Vec<OrganizingAgent> = (1..=num_oas as u32)
         .map(|a| OrganizingAgent::new(SiteAddr(a), db.service.clone(), OaConfig::default()))
         .collect();
     let blocks = db.all_block_paths();
@@ -35,7 +35,7 @@ fn capacity_run(num_oas: usize, offered_rate: f64, duration: f64) -> f64 {
     for (i, bp) in blocks.iter().enumerate() {
         let site = i % num_oas;
         agents[site]
-            .db
+            .db_mut()
             .bootstrap_owned(&db.master, bp, true)
             .expect("bootstrap block");
         owner_of.push(SiteAddr(site as u32 + 1));

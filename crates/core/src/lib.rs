@@ -32,7 +32,8 @@ pub mod schema_change;
 pub mod service;
 
 pub use agent::{
-    CacheMode, Endpoint, Message, OaConfig, OaStats, OrganizingAgent, Outbound, QueryId,
+    perform_read, CacheMode, Endpoint, HandleOutcome, Message, OaConfig, OaStats,
+    OrganizingAgent, Outbound, QueryId, ReadDone, ReadResult, ReadTask, ReadTaskKind,
     SensingAgent,
 };
 pub use continuous::{ContinuousRegistry, Notification};

@@ -16,7 +16,7 @@
 
 use irisdns::{AuthoritativeDns, SiteAddr};
 
-use crate::agent::{Message, OrganizingAgent, Outbound};
+use crate::agent::{HandleOutcome, Message, OrganizingAgent, Outbound};
 use crate::fragment::Status;
 use crate::idable::IdPath;
 
@@ -33,16 +33,18 @@ impl OrganizingAgent {
         if to == self.addr {
             return; // nothing to do
         }
-        if self.db.status_at(&path) != Some(Status::Owned) {
-            return; // not ours (possibly already delegated)
-        }
-        let Ok(frag) = self.db.export_subtrees(std::slice::from_ref(&path)) else {
-            return;
+        let fragment_xml = {
+            let db = self.db();
+            if db.status_at(&path) != Some(Status::Owned) {
+                return; // not ours (possibly already delegated)
+            }
+            let Ok(frag) = db.export_subtrees(std::slice::from_ref(&path)) else {
+                return;
+            };
+            frag.root()
+                .map(|r| sensorxml::serialize(&frag, r))
+                .unwrap_or_default()
         };
-        let fragment_xml = frag
-            .root()
-            .map(|r| sensorxml::serialize(&frag, r))
-            .unwrap_or_default();
         self.hold_set().insert(path.clone());
         out.push(Outbound::Send {
             to,
@@ -61,13 +63,16 @@ impl OrganizingAgent {
         _now: f64,
         out: &mut Vec<Outbound>,
     ) {
-        if let Ok(frag) = sensorxml::parse(fragment_xml) {
-            if self.db.merge_fragment(&frag).is_err() {
-                return; // refuse broken transfers; old owner keeps holding
+        {
+            let mut db = self.db_mut();
+            if let Ok(frag) = sensorxml::parse(fragment_xml) {
+                if db.merge_fragment(&frag).is_err() {
+                    return; // refuse broken transfers; old owner keeps holding
+                }
             }
-        }
-        if self.db.set_status_subtree(&path, Status::Owned).is_err() {
-            return;
+            if db.set_status_subtree(&path, Status::Owned).is_err() {
+                return;
+            }
         }
         // Taking ownership supersedes any forwarding entry we held from a
         // past delegation of the same node.
@@ -89,12 +94,12 @@ impl OrganizingAgent {
         new_owner: SiteAddr,
         dns: &mut AuthoritativeDns,
         now: f64,
-        out: &mut Vec<Outbound>,
+        oc: &mut HandleOutcome,
     ) {
-        let _ = self.db.set_status_subtree(&path, Status::Complete);
+        let _ = self.db_mut().set_status_subtree(&path, Status::Complete);
         self.hold_set().remove(&path);
         self.forward_map().insert(path, new_owner);
-        self.release_held(dns, now, out);
+        self.release_held(dns, now, oc);
     }
 }
 
@@ -131,10 +136,10 @@ mod tests {
 
     fn setup() -> (OrganizingAgent, OrganizingAgent, AuthoritativeDns, Arc<Service>) {
         let svc = Service::parking();
-        let mut a = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        let a = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
         let b = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
         let mut dns = AuthoritativeDns::new();
-        a.db.bootstrap_owned(&master(), &IdPath::from_pairs([("usRegion", "NE")]), true)
+        a.db_mut().bootstrap_owned(&master(), &IdPath::from_pairs([("usRegion", "NE")]), true)
             .unwrap();
         dns.register(&svc.dns_name(&IdPath::from_pairs([("usRegion", "NE")])), SiteAddr(1));
         (a, b, dns, svc)
@@ -167,18 +172,18 @@ mod tests {
         let block = oakland().child("block", "1");
         migrate(&mut a, &mut b, &mut dns, &block);
 
-        assert_eq!(b.db.status_at(&block), Some(Status::Owned));
+        assert_eq!(b.db().status_at(&block), Some(Status::Owned));
         assert_eq!(
-            b.db.status_at(&block.child("parkingSpace", "1")),
+            b.db().status_at(&block.child("parkingSpace", "1")),
             Some(Status::Owned)
         );
-        assert_eq!(a.db.status_at(&block), Some(Status::Complete));
+        assert_eq!(a.db().status_at(&block), Some(Status::Complete));
         // DNS now maps the block to B.
         let ans = dns.lookup(&svc.dns_name(&block)).unwrap();
         assert_eq!(ans.addr, SiteAddr(2));
         // B passes invariants against the master.
-        b.db.check_invariants(&master()).unwrap();
-        a.db.check_invariants(&master()).unwrap();
+        b.db().check_invariants(&master()).unwrap();
+        a.db().check_invariants(&master()).unwrap();
     }
 
     #[test]
@@ -202,7 +207,7 @@ mod tests {
         assert_eq!(*to, SiteAddr(2));
         let _ = b.handle(msg.clone(), &mut dns, 5.0);
         assert_eq!(b.stats.updates_applied, 1);
-        assert_eq!(b.db.timestamp_at(&space), 5.0);
+        assert_eq!(b.db().timestamp_at(&space), 5.0);
     }
 
     #[test]

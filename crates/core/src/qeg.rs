@@ -26,8 +26,10 @@
 //! partial-match caching and answer assembly one mechanism.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use sensorxml::Document;
 use sensorxpath::analysis::{split_step_predicates, SplitPredicates};
 use sensorxpath::{Axis, Expr, LocationPath, NodeTest, Step, Value, XNode};
@@ -540,17 +542,72 @@ pub enum XsltCreation {
     Fast,
 }
 
+/// Upper bound on distinct query shapes kept by the fast-path skeleton
+/// cache; beyond this the least-recently-used shape is evicted.
+pub const SKELETON_CACHE_CAP: usize = 64;
+
+/// One cached compiled skeleton plus the bookkeeping for LRU eviction.
+#[derive(Debug)]
+struct SkeletonEntry {
+    compiled: Compiled,
+    slots: Vec<StepSlots>,
+    start_mode: String,
+    last_used: u64,
+}
+
+/// The bounded skeleton cache: shape -> compiled skeleton, with a logical
+/// clock driving least-recently-used eviction.
+#[derive(Debug, Default)]
+struct SkeletonCache {
+    map: HashMap<ShapeKey, SkeletonEntry>,
+    clock: u64,
+}
+
+impl SkeletonCache {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Evicts least-recently-used entries until the cache fits `cap`.
+    /// Returns how many entries were dropped.
+    fn enforce_cap(&mut self, cap: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > cap {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// Creates QEG programs from query plans.
+///
+/// The factory is shared across read workers (`Arc<QegFactory>` in the
+/// live cluster): creation takes `&self`, the skeleton cache sits behind a
+/// mutex held only for lookup/insert (never across a compile), and the
+/// counters are atomics. Fast-path cache *hits* therefore stay cheap and
+/// concurrent — a miss compiles outside the lock, so a burst of new shapes
+/// doesn't serialize the pool either.
 #[derive(Debug)]
 pub struct QegFactory {
     /// The service this factory generates programs for (kept for
     /// diagnostics; codegen itself is schema-independent).
     pub service: Arc<Service>,
     creation: XsltCreation,
-    skeletons: HashMap<ShapeKey, (Compiled, Vec<StepSlots>, String)>,
-    /// (programs created, skeleton cache hits)
-    pub created: u64,
-    pub skeleton_hits: u64,
+    skeletons: Mutex<SkeletonCache>,
+    created: AtomicU64,
+    skeleton_hits: AtomicU64,
+    skeleton_misses: AtomicU64,
+    skeleton_evictions: AtomicU64,
 }
 
 impl QegFactory {
@@ -559,9 +616,11 @@ impl QegFactory {
         QegFactory {
             service,
             creation,
-            skeletons: HashMap::new(),
-            created: 0,
-            skeleton_hits: 0,
+            skeletons: Mutex::new(SkeletonCache::default()),
+            created: AtomicU64::new(0),
+            skeleton_hits: AtomicU64::new(0),
+            skeleton_misses: AtomicU64::new(0),
+            skeleton_evictions: AtomicU64::new(0),
         }
     }
 
@@ -570,8 +629,33 @@ impl QegFactory {
         self.creation
     }
 
+    /// Programs created (both strategies).
+    pub fn created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Fast-path skeleton cache hits.
+    pub fn skeleton_hits(&self) -> u64 {
+        self.skeleton_hits.load(Ordering::Relaxed)
+    }
+
+    /// Fast-path skeleton cache misses (shape not cached; full compile).
+    pub fn skeleton_misses(&self) -> u64 {
+        self.skeleton_misses.load(Ordering::Relaxed)
+    }
+
+    /// Skeletons dropped by the LRU bound ([`SKELETON_CACHE_CAP`]).
+    pub fn skeleton_evictions(&self) -> u64 {
+        self.skeleton_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Distinct shapes currently cached (≤ [`SKELETON_CACHE_CAP`]).
+    pub fn skeleton_cache_len(&self) -> usize {
+        self.skeletons.lock().map.len()
+    }
+
     /// Builds the executable QEG program for a plan.
-    pub fn create(&mut self, plan: &QueryPlan) -> CoreResult<QegProgram> {
+    pub fn create(&self, plan: &QueryPlan) -> CoreResult<QegProgram> {
         self.create_with(plan, false)
     }
 
@@ -580,11 +664,11 @@ impl QegFactory {
     /// the owner — the lever behind the paper's controlled cache-hit-rate
     /// experiments (Fig. 10's "caching with no hits").
     pub fn create_with(
-        &mut self,
+        &self,
         plan: &QueryPlan,
         ignore_complete: bool,
     ) -> CoreResult<QegProgram> {
-        self.created += 1;
+        self.created.fetch_add(1, Ordering::Relaxed);
         match self.creation {
             XsltCreation::Naive => {
                 // Full round trip through stylesheet *text*, like the
@@ -598,20 +682,42 @@ impl QegFactory {
             }
             XsltCreation::Fast => {
                 let key = ShapeKey::of(plan, ignore_complete);
-                if let Some((skeleton, slots, start_mode)) = self.skeletons.get(&key) {
-                    self.skeleton_hits += 1;
-                    let mut compiled = skeleton.clone();
-                    let updates = slot_updates(plan, slots);
+                let hit = {
+                    let mut cache = self.skeletons.lock();
+                    let stamp = cache.touch();
+                    cache.map.get_mut(&key).map(|entry| {
+                        entry.last_used = stamp;
+                        (entry.compiled.clone(), slot_updates(plan, &entry.slots),
+                         entry.start_mode.clone())
+                    })
+                };
+                if let Some((mut compiled, updates, start_mode)) = hit {
+                    self.skeleton_hits.fetch_add(1, Ordering::Relaxed);
                     compiled.patch_slots(&updates)?;
-                    return Ok(QegProgram {
-                        compiled,
-                        start_mode: start_mode.clone(),
-                    });
+                    return Ok(QegProgram { compiled, start_mode });
                 }
+                self.skeleton_misses.fetch_add(1, Ordering::Relaxed);
+                // Compile outside the lock; a racing worker compiling the
+                // same shape just overwrites with an identical skeleton.
                 let (sheet, slots, start_mode) = generate_stylesheet(plan, ignore_complete);
                 let compiled = compile(sheet)?;
-                self.skeletons
-                    .insert(key, (compiled.clone(), slots, start_mode.clone()));
+                let evicted = {
+                    let mut cache = self.skeletons.lock();
+                    let stamp = cache.touch();
+                    cache.map.insert(
+                        key,
+                        SkeletonEntry {
+                            compiled: compiled.clone(),
+                            slots,
+                            start_mode: start_mode.clone(),
+                            last_used: stamp,
+                        },
+                    );
+                    cache.enforce_cap(SKELETON_CACHE_CAP)
+                };
+                if evicted > 0 {
+                    self.skeleton_evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
                 Ok(QegProgram { compiled, start_mode })
             }
         }
@@ -1229,7 +1335,7 @@ mod tests {
     fn qeg_complete_data_produces_no_asks() {
         let db = owned_all();
         let p = plan(Q_PAPER);
-        let mut f = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let f = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let prog = f.create(&p).unwrap();
         let out = prog.execute(&db, 0.0).unwrap();
         assert!(out.is_complete(), "asks: {:?}", out.asks);
@@ -1253,7 +1359,7 @@ mod tests {
         db.bootstrap_owned(&m, &pgh().child("neighborhood", "Oakland"), true)
             .unwrap();
         let p = plan(Q_PAPER);
-        let mut f = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let f = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let prog = f.create(&p).unwrap();
         let out = prog.execute(&db, 0.0).unwrap();
         assert_eq!(out.asks.len(), 1);
@@ -1281,7 +1387,7 @@ mod tests {
                  /city[@id='Pittsburgh']/neighborhood[@id='Oakland']\
                  /block[@id='2']/parkingSpace";
         let p = plan(q);
-        let mut f = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let f = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let out = f.create(&p).unwrap().execute(&db, 0.0).unwrap();
         assert!(out.is_complete());
         let matched = matched_final_paths(&p, &db, 0.0).unwrap();
@@ -1292,7 +1398,7 @@ mod tests {
     fn qeg_descendant_query() {
         let db = owned_all();
         let p = plan("/usRegion[@id='NE']//parkingSpace[price='0']");
-        let mut f = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let f = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let out = f.create(&p).unwrap().execute(&db, 0.0).unwrap();
         assert!(out.is_complete(), "asks: {:?}", out.asks);
         let matched = matched_final_paths(&p, &db, 0.0).unwrap();
@@ -1306,7 +1412,7 @@ mod tests {
         db.bootstrap_owned(&m, &pgh().child("neighborhood", "Oakland"), true)
             .unwrap();
         let p = plan("/usRegion[@id='NE']//parkingSpace[price='0']");
-        let mut f = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let f = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let out = f.create(&p).unwrap().execute(&db, 0.0).unwrap();
         assert!(!out.is_complete());
         // Shadyside (incomplete) must be asked for.
@@ -1329,7 +1435,7 @@ mod tests {
                  /parkingSpace[not(price > ../parkingSpace/price)]";
         let p = plan(q);
         assert_eq!(p.fetch_subtree_at, Some(5));
-        let mut f = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let f = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let out = f.create(&p).unwrap().execute(&db, 0.0).unwrap();
         assert!(!out.is_complete());
         // With the whole document owned, the same query runs locally.
@@ -1366,7 +1472,7 @@ mod tests {
                  /city[@id='Pittsburgh']/neighborhood[@id='Oakland']/block[@id='1']\
                  /parkingSpace[available='yes'][@timestamp > now() - 30]";
         let p = plan(q);
-        let mut f = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let f = QegFactory::new(Service::parking(), XsltCreation::Fast);
         // Query posed at t=200: data from t=100 is 100s old, tolerance 30s.
         let out = f.create(&p).unwrap().execute(&cache, 200.0).unwrap();
         assert!(out.asks.iter().any(|a| a.kind == AskKind::Stale));
@@ -1385,8 +1491,8 @@ mod tests {
         db.bootstrap_owned(&m, &pgh().child("neighborhood", "Oakland"), true)
             .unwrap();
         let p = plan(Q_PAPER);
-        let mut naive = QegFactory::new(Service::parking(), XsltCreation::Naive);
-        let mut fast = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let naive = QegFactory::new(Service::parking(), XsltCreation::Naive);
+        let fast = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let o1 = naive.create(&p).unwrap().execute(&db, 0.0).unwrap();
         let o2 = fast.create(&p).unwrap().execute(&db, 0.0).unwrap();
         assert_eq!(o1.asks, o2.asks);
@@ -1400,7 +1506,7 @@ mod tests {
 
     #[test]
     fn fast_skeleton_cache_hits_on_same_shape() {
-        let mut fast = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let fast = QegFactory::new(Service::parking(), XsltCreation::Fast);
         let p1 = plan(Q_PAPER);
         // Same shape, different ids/predicates.
         let p2 = plan(
@@ -1409,19 +1515,57 @@ mod tests {
              /block[@id='2']/parkingSpace[available='no']",
         );
         fast.create(&p1).unwrap();
-        assert_eq!(fast.skeleton_hits, 0);
+        assert_eq!(fast.skeleton_hits(), 0);
+        assert_eq!(fast.skeleton_misses(), 1);
         fast.create(&p2).unwrap();
-        assert_eq!(fast.skeleton_hits, 1);
+        assert_eq!(fast.skeleton_hits(), 1);
         // Different shape misses.
         let p3 = plan("/usRegion[@id='NE']//parkingSpace");
         fast.create(&p3).unwrap();
-        assert_eq!(fast.skeleton_hits, 1);
+        assert_eq!(fast.skeleton_hits(), 1);
+        assert_eq!(fast.skeleton_misses(), 2);
+        assert_eq!(fast.skeleton_evictions(), 0);
         // And the patched program still behaves correctly.
         let db = owned_all();
         let out = fast.create(&p2).unwrap().execute(&db, 0.0).unwrap();
         assert!(out.is_complete());
         let matched = matched_final_paths(&p2, &db, 0.0).unwrap();
         assert!(matched.is_empty()); // Oakland block 2's only space is available
+    }
+
+    #[test]
+    fn skeleton_cache_lru_bounds_shapes() {
+        let fast = QegFactory::new(Service::parking(), XsltCreation::Fast);
+        let tags = ["usRegion", "state", "county", "city", "neighborhood", "block"];
+        let ids = ["NE", "PA", "Allegheny", "Pittsburgh", "Oakland", "1"];
+        // Distinct shapes: which steps carry a rest predicate is part of the
+        // shape key, as is `ignore_complete` — 2^7 combinations available.
+        let shape_query = |i: usize| {
+            let mut q = String::new();
+            for j in 0..tags.len() {
+                q.push_str(&format!("/{}[@id='{}']", tags[j], ids[j]));
+                if i & (1 << j) != 0 {
+                    q.push_str("[price > 0]");
+                }
+            }
+            q.push_str("/parkingSpace");
+            q
+        };
+        let n = SKELETON_CACHE_CAP + 8;
+        for i in 0..n {
+            fast.create_with(&plan(&shape_query(i)), i >= 64).unwrap();
+        }
+        assert_eq!(fast.created(), n as u64);
+        assert_eq!(fast.skeleton_misses(), n as u64);
+        assert_eq!(fast.skeleton_hits(), 0);
+        assert_eq!(fast.skeleton_cache_len(), SKELETON_CACHE_CAP);
+        assert_eq!(fast.skeleton_evictions(), (n - SKELETON_CACHE_CAP) as u64);
+        // The newest shape is still resident: re-creating it hits...
+        fast.create_with(&plan(&shape_query(n - 1)), true).unwrap();
+        assert_eq!(fast.skeleton_hits(), 1);
+        // ...while the oldest was evicted: re-creating it misses again.
+        fast.create_with(&plan(&shape_query(0)), false).unwrap();
+        assert_eq!(fast.skeleton_misses(), n as u64 + 1);
     }
 
     #[test]

@@ -19,8 +19,8 @@ fn master() -> sensorxml::Document {
 
 fn owner_agent(addr: u32) -> (OrganizingAgent, AuthoritativeDns) {
     let svc = Service::parking();
-    let mut oa = OrganizingAgent::new(SiteAddr(addr), svc.clone(), OaConfig::default());
-    oa.db
+    let oa = OrganizingAgent::new(SiteAddr(addr), svc.clone(), OaConfig::default());
+    oa.db_mut()
         .bootstrap_owned(&master(), &IdPath::from_pairs([("usRegion", "NE")]), true)
         .unwrap();
     let mut dns = AuthoritativeDns::new();
@@ -99,7 +99,7 @@ fn missing_data_with_no_dns_entry_answers_with_what_exists() {
            </city></county></state></usRegion>"#,
     )
     .unwrap();
-    oa.db.bootstrap_owned(&m, &IdPath::from_pairs([("usRegion", "NE")]), true).unwrap();
+    oa.db_mut().bootstrap_owned(&m, &IdPath::from_pairs([("usRegion", "NE")]), true).unwrap();
     // n2 is evicted and its owner is unknown to DNS.
     let n2 = IdPath::from_pairs([
         ("usRegion", "NE"),
@@ -108,8 +108,8 @@ fn missing_data_with_no_dns_entry_answers_with_what_exists() {
         ("city", "P"),
         ("neighborhood", "n2"),
     ]);
-    oa.db.set_status_subtree(&n2, Status::Complete).unwrap();
-    oa.db.evict(&n2).unwrap();
+    oa.db_mut().set_status_subtree(&n2, Status::Complete).unwrap();
+    oa.db_mut().evict(&n2).unwrap();
     let mut dns = AuthoritativeDns::new();
     dns.register(&svc.dns_name(&IdPath::from_pairs([("usRegion", "NE")])), SiteAddr(1));
 
@@ -211,5 +211,5 @@ fn delegate_to_self_is_a_no_op() {
         0.0,
     );
     assert!(out.is_empty());
-    assert_eq!(oa.db.status_at(&block), Some(Status::Owned));
+    assert_eq!(oa.db().status_at(&block), Some(Status::Owned));
 }

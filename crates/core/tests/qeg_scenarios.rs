@@ -56,12 +56,12 @@ fn split_world() -> (OrganizingAgent, OrganizingAgent, AuthoritativeDns) {
     let m = master();
     let svc = service();
     let q_city = root().child("state", "PA").child("county", "A").child("city", "Q");
-    let mut oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
-    oa1.db.bootstrap_owned(&m, &root(), true).unwrap();
-    oa1.db.set_status_subtree(&q_city, Status::Complete).unwrap();
-    oa1.db.evict(&q_city).unwrap();
-    let mut oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
-    oa2.db.bootstrap_owned(&m, &q_city, true).unwrap();
+    let oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+    oa1.db_mut().bootstrap_owned(&m, &root(), true).unwrap();
+    oa1.db_mut().set_status_subtree(&q_city, Status::Complete).unwrap();
+    oa1.db_mut().evict(&q_city).unwrap();
+    let oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
+    oa2.db_mut().bootstrap_owned(&m, &q_city, true).unwrap();
     let mut dns = AuthoritativeDns::new();
     dns.register(&svc.dns_name(&root()), SiteAddr(1));
     dns.register(&svc.dns_name(&q_city), SiteAddr(2));
@@ -278,7 +278,7 @@ fn matched_paths_respect_distribution_prefix_only() {
 #[test]
 fn qeg_factory_shapes_do_not_collide_across_queries() {
     let svc = service();
-    let mut f = QegFactory::new(svc.clone(), XsltCreation::Fast);
+    let f = QegFactory::new(svc.clone(), XsltCreation::Fast);
     let queries = [
         "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']",
         "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']/neighborhood[@id='n1']",
@@ -298,11 +298,11 @@ fn qeg_factory_shapes_do_not_collide_across_queries() {
         assert!(out.is_complete(), "asks for {q}: {:?}", out.asks);
     }
     // Re-creating the same queries hits the skeleton cache each time.
-    let before = f.skeleton_hits;
+    let before = f.skeleton_hits();
     for q in queries {
         let e = sensorxpath::parse(q).unwrap();
         let plan = plan_query(&e, &svc).unwrap();
         f.create(&plan).unwrap();
     }
-    assert_eq!(f.skeleton_hits, before + queries.len() as u64);
+    assert_eq!(f.skeleton_hits(), before + queries.len() as u64);
 }

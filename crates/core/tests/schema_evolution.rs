@@ -34,17 +34,17 @@ fn block() -> IdPath {
 /// Owner on site 1, cache on site 2 (warmed via a real exchange).
 fn setup() -> (OrganizingAgent, OrganizingAgent, AuthoritativeDns) {
     let svc = Service::parking();
-    let mut owner = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+    let owner = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
     owner
-        .db
+        .db_mut()
         .bootstrap_owned(&master(), &IdPath::from_pairs([("usRegion", "NE")]), true)
         .unwrap();
-    let mut cache = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
+    let cache = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
     // Site 2 starts as a cache replica of the root's local ID information
     // (a legitimate C1/C2 cache copy), so queries posed there can walk the
     // hierarchy and gather.
     cache
-        .db
+        .db_mut()
         .bootstrap_cached(&master(), &IdPath::from_pairs([("usRegion", "NE")]), false)
         .unwrap();
     let mut dns = AuthoritativeDns::new();
@@ -90,16 +90,16 @@ fn new_idable_node_reaches_stale_caches_via_freshness() {
     // Site 2 owns nothing; route the query there explicitly.
     let a0 = pump(&mut owner, &mut cache, &mut dns, SiteAddr(2), Q, 0.0);
     assert_eq!(a0.matches("<parkingSpace").count(), 1);
-    assert_eq!(cache.db.status_at(&block()), Some(Status::Complete));
+    assert_eq!(cache.db().status_at(&block()), Some(Status::Complete));
 
     // The owner grows a new space (§4: addition of IDable nodes is done by
     // the owner of the parent).
     owner
-        .db
+        .db_mut()
         .schema_add_idable_child(&block(), "parkingSpace", "2", 10.0)
         .unwrap();
     owner
-        .db
+        .db_mut()
         .apply_update(
             &block().child("parkingSpace", "2"),
             &[("available".into(), "no".into())],
@@ -128,7 +128,7 @@ fn removed_idable_node_disappears_after_refresh() {
     assert_eq!(a0.matches("<parkingSpace").count(), 1);
 
     owner
-        .db
+        .db_mut()
         .schema_remove_idable_child(&block(), "parkingSpace", "1", 15.0)
         .unwrap();
     // DNS cleanup for the removed subtree (no-op here because spaces have
@@ -146,7 +146,7 @@ fn added_attribute_is_immediately_queryable_at_owner() {
     let (mut owner, mut cache, mut dns) = setup();
     let nbhd = block().parent().unwrap();
     owner
-        .db
+        .db_mut()
         .schema_add_attribute(&nbhd, "numberOfFreeSpots", "7", 5.0)
         .unwrap();
     // The §2 motivating query: neighborhoods with free spots.
@@ -156,7 +156,7 @@ fn added_attribute_is_immediately_queryable_at_owner() {
     assert_eq!(a.matches("<parkingSpace").count(), 1);
     // With the attribute failing the predicate, the answer is empty.
     owner
-        .db
+        .db_mut()
         .schema_add_attribute(&nbhd, "numberOfFreeSpots", "0", 7.0)
         .unwrap();
     let a2 = pump(&mut owner, &mut cache, &mut dns, SiteAddr(1), q, 8.0);

@@ -64,6 +64,11 @@ impl CostModel {
     fn service_time(&self, msg: &Message, measured_cpu: f64, doc_nodes: usize) -> f64 {
         let (fixed, scans_doc) = match msg {
             Message::UserQuery { .. } | Message::SubQuery { .. } => (self.query_cpu, true),
+            // A batch costs what its member subqueries would have cost; the
+            // saving is in per-message wire overhead, not CPU.
+            Message::SubQueryBatch { entries, .. } => {
+                (self.query_cpu * entries.len() as f64, true)
+            }
             // Subquery answers cost message handling plus the measured
             // merge/re-evaluate CPU (the re-run scans the document too).
             Message::SubAnswer { .. } => (0.0, true),
@@ -306,7 +311,7 @@ impl DesCluster {
     fn deliver(&mut self, addr: SiteAddr, msg: Message) {
         let Some(site) = self.sites.get_mut(&addr) else { return };
         let start = self.now.max(site.busy_until);
-        let doc_nodes = site.oa.db.doc().arena_len();
+        let doc_nodes = site.oa.db().doc().arena_len();
         let t0 = Instant::now();
         let outs = site.oa.handle(msg.clone(), &mut self.dns, start);
         let measured = t0.elapsed().as_secs_f64();
@@ -440,12 +445,12 @@ mod tests {
             .child("county", "A")
             .child("city", "P");
         // Site 1 owns everything except Shadyside, which lives on site 2.
-        let mut oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
-        oa1.db.bootstrap_owned(&master(), &root, true).unwrap();
+        let oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa1.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
         // Carve Shadyside out by delegating at setup time: simplest is to
         // bootstrap site 2 and flip statuses via the migration handshake.
-        let mut oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
-        oa2.db
+        let oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
+        oa2.db_mut()
             .bootstrap_owned(&master(), &pgh.child("neighborhood", "Shadyside"), true)
             .unwrap();
         sim.dns.register(&svc.dns_name(&root), SiteAddr(1));
@@ -454,10 +459,10 @@ mod tests {
         // Site 1 must genuinely lack Shadyside: demote and evict it so
         // only the ID stub remains.
         let shady = pgh.child("neighborhood", "Shadyside");
-        oa1.db
+        oa1.db_mut()
             .set_status_subtree(&shady, irisnet_core::Status::Complete)
             .unwrap();
-        oa1.db.evict(&shady).unwrap();
+        oa1.db_mut().evict(&shady).unwrap();
         sim.add_site(oa1);
         sim.add_site(oa2);
         sim
@@ -525,8 +530,8 @@ mod tests {
         let svc = Service::parking();
         let mut sim = DesCluster::new(CostModel::default());
         let root = IdPath::from_pairs([("usRegion", "NE")]);
-        let mut oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
-        oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+        let oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
         sim.dns.register(&svc.dns_name(&root), SiteAddr(1));
         sim.add_site(oa);
         let sp = root

@@ -21,6 +21,6 @@ pub mod metrics;
 pub mod trace;
 
 pub use des::{ClientLoad, CostModel, DesCluster, ReplyRecord};
-pub use live::{LiveCluster, LiveReply};
+pub use live::{LiveClient, LiveCluster, LiveReply};
 pub use metrics::{latency_percentiles, throughput_series, Percentiles};
 pub use trace::{MsgClass, Trace};

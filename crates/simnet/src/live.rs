@@ -5,15 +5,17 @@
 //! routing, QEG compilation and execution, wire (de)serialization — and is
 //! what the examples and the Fig. 11 micro-benchmarks use.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use irisdns::{AuthoritativeDns, CachingResolver, SiteAddr};
 use irisnet_core::{
-    Endpoint, IdPath, Message, OrganizingAgent, Outbound, QueryId, Service,
+    perform_read, Endpoint, IdPath, Message, OrganizingAgent, Outbound, QueryId,
+    ReadDone, ReadTask, Service,
 };
 use parking_lot::Mutex;
 
@@ -31,12 +33,53 @@ pub struct LiveReply {
 
 enum Envelope {
     Msg(Message),
+    /// A read worker finished a task; the owner loop applies the result.
+    Done(ReadDone),
     Stop,
 }
 
 struct SiteHandle {
     tx: Sender<Envelope>,
     join: JoinHandle<OrganizingAgent>,
+}
+
+/// A hand-rolled task queue shared between a site's owner loop and its read
+/// workers. Closing wakes every blocked worker so they can exit.
+struct WorkQueue {
+    state: StdMutex<(VecDeque<ReadTask>, bool)>,
+    cv: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue { state: StdMutex::new((VecDeque::new(), false)), cv: Condvar::new() }
+    }
+
+    fn push(&self, task: ReadTask) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.0.push_back(task);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a task is available; `None` once closed and drained.
+    fn pop(&self) -> Option<ReadTask> {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(t) = g.0.pop_front() {
+                return Some(t);
+            }
+            if g.1 {
+                return None;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
 }
 
 /// A running cluster of organizing-agent threads.
@@ -47,8 +90,8 @@ pub struct LiveCluster {
     senders: Arc<Mutex<HashMap<SiteAddr, Sender<Envelope>>>>,
     replies: Arc<Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>>,
     epoch: Instant,
-    next_endpoint: u64,
-    next_qid: u64,
+    next_endpoint: Arc<AtomicU64>,
+    next_qid: Arc<AtomicU64>,
     client_resolver: CachingResolver,
 }
 
@@ -62,8 +105,8 @@ impl LiveCluster {
             senders: Arc::new(Mutex::new(HashMap::new())),
             replies: Arc::new(Mutex::new(HashMap::new())),
             epoch: Instant::now(),
-            next_endpoint: 0,
-            next_qid: 1,
+            next_endpoint: Arc::new(AtomicU64::new(0)),
+            next_qid: Arc::new(AtomicU64::new(1)),
             client_resolver: CachingResolver::new(3600.0),
         }
     }
@@ -79,8 +122,17 @@ impl LiveCluster {
         self.dns.lock().register(&name, addr);
     }
 
-    /// Spawns a site thread around an agent.
+    /// Spawns a site thread around an agent. Reads run inline on the owner
+    /// loop (serial semantics, zero extra threads).
     pub fn add_site(&mut self, oa: OrganizingAgent) {
+        self.add_site_with_workers(oa, 0);
+    }
+
+    /// Spawns a site thread plus `workers` read workers. Workers execute
+    /// QEG programs and serialize answers against a shared read lock on the
+    /// site database; completions funnel back to the owner loop so ask
+    /// bookkeeping stays single-writer. `workers == 0` is the serial path.
+    pub fn add_site_with_workers(&mut self, oa: OrganizingAgent, workers: usize) {
         let addr = oa.addr;
         let (tx, rx) = unbounded::<Envelope>();
         self.senders.lock().insert(addr, tx.clone());
@@ -88,11 +140,27 @@ impl LiveCluster {
         let senders = self.senders.clone();
         let replies = self.replies.clone();
         let epoch = self.epoch;
+        let self_tx = tx.clone();
         let join = std::thread::Builder::new()
             .name(format!("oa-{}", addr.0))
-            .spawn(move || site_loop(oa, rx, dns, senders, replies, epoch))
+            .spawn(move || site_loop(oa, rx, self_tx, dns, senders, replies, epoch, workers))
             .expect("spawn site thread");
         self.sites.insert(addr, SiteHandle { tx, join });
+    }
+
+    /// A thread-safe client handle: can be created once per client thread
+    /// and used to pose queries concurrently against a running cluster.
+    pub fn client(&self) -> LiveClient {
+        LiveClient {
+            service: self.service.clone(),
+            dns: self.dns.clone(),
+            senders: self.senders.clone(),
+            replies: self.replies.clone(),
+            epoch: self.epoch,
+            next_endpoint: self.next_endpoint.clone(),
+            next_qid: self.next_qid.clone(),
+            resolver: CachingResolver::new(3600.0),
+        }
     }
 
     /// Sends a raw message to a site (SA updates, admin delegations).
@@ -123,25 +191,15 @@ impl LiveCluster {
         target: SiteAddr,
         timeout: Duration,
     ) -> Option<LiveReply> {
-        let endpoint = Endpoint(self.next_endpoint);
-        self.next_endpoint += 1;
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        let (rtx, rrx) = unbounded();
-        self.replies.lock().insert(endpoint, rtx);
-        let posed = Instant::now();
-        self.send(
+        pose_at(
+            &self.senders,
+            &self.replies,
+            &self.next_endpoint,
+            &self.next_qid,
+            text,
             target,
-            Message::UserQuery { qid, text: text.to_string(), endpoint },
-        );
-        let got = rrx.recv_timeout(timeout).ok();
-        self.replies.lock().remove(&endpoint);
-        got.map(|(qid, answer_xml, ok)| LiveReply {
-            qid,
-            answer_xml,
-            ok,
-            latency: posed.elapsed(),
-        })
+            timeout,
+        )
     }
 
     /// Registers a continuous query at `site` and returns the stream of
@@ -153,10 +211,8 @@ impl LiveCluster {
         site: SiteAddr,
         text: &str,
     ) -> (QueryId, Receiver<ReplyTuple>) {
-        let endpoint = Endpoint(self.next_endpoint);
-        self.next_endpoint += 1;
-        let qid = self.next_qid;
-        self.next_qid += 1;
+        let endpoint = Endpoint(self.next_endpoint.fetch_add(1, Ordering::Relaxed));
+        let qid = self.next_qid.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = unbounded();
         self.replies.lock().insert(endpoint, tx);
         self.send(
@@ -179,38 +235,210 @@ impl LiveCluster {
     }
 }
 
-fn site_loop(
-    mut oa: OrganizingAgent,
-    rx: Receiver<Envelope>,
+/// A cloneless per-thread client handle over a running [`LiveCluster`].
+/// Obtain one per client thread via [`LiveCluster::client`]; endpoint/query
+/// id allocation is shared with the cluster, so handles and the cluster can
+/// pose queries concurrently without collisions.
+pub struct LiveClient {
+    service: Arc<Service>,
     dns: Arc<Mutex<AuthoritativeDns>>,
     senders: Arc<Mutex<HashMap<SiteAddr, Sender<Envelope>>>>,
     replies: Arc<Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>>,
     epoch: Instant,
-) -> OrganizingAgent {
-    while let Ok(env) = rx.recv() {
-        let msg = match env {
-            Envelope::Msg(m) => m,
-            Envelope::Stop => break,
+    next_endpoint: Arc<AtomicU64>,
+    next_qid: Arc<AtomicU64>,
+    resolver: CachingResolver,
+}
+
+impl LiveClient {
+    /// Poses a query using self-starting routing and blocks for the answer.
+    pub fn pose_query(&mut self, text: &str, timeout: Duration) -> Option<LiveReply> {
+        let (_, _, name) = irisnet_core::routing::route_query(text, &self.service).ok()?;
+        let now = self.epoch.elapsed().as_secs_f64();
+        let target = {
+            let dns = self.dns.lock();
+            self.resolver.resolve(&name, &dns, now)?.addr
         };
-        let now = epoch.elapsed().as_secs_f64();
-        let outs = {
-            let mut dns = dns.lock();
-            oa.handle(msg, &mut dns, now)
-        };
-        for o in outs {
-            match o {
-                Outbound::Send { to, msg } => {
-                    if let Some(tx) = senders.lock().get(&to) {
-                        let _ = tx.send(Envelope::Msg(msg));
-                    }
+        self.pose_query_at(text, target, timeout)
+    }
+
+    /// Poses a query to an explicit site and blocks for the answer.
+    pub fn pose_query_at(
+        &self,
+        text: &str,
+        target: SiteAddr,
+        timeout: Duration,
+    ) -> Option<LiveReply> {
+        pose_at(
+            &self.senders,
+            &self.replies,
+            &self.next_endpoint,
+            &self.next_qid,
+            text,
+            target,
+            timeout,
+        )
+    }
+}
+
+/// Shared pose-and-wait path for [`LiveCluster`] and [`LiveClient`].
+#[allow(clippy::too_many_arguments)]
+fn pose_at(
+    senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
+    replies: &Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>,
+    next_endpoint: &AtomicU64,
+    next_qid: &AtomicU64,
+    text: &str,
+    target: SiteAddr,
+    timeout: Duration,
+) -> Option<LiveReply> {
+    let endpoint = Endpoint(next_endpoint.fetch_add(1, Ordering::Relaxed));
+    let qid = next_qid.fetch_add(1, Ordering::Relaxed);
+    let (rtx, rrx) = unbounded();
+    replies.lock().insert(endpoint, rtx);
+    let posed = Instant::now();
+    if let Some(tx) = senders.lock().get(&target) {
+        let _ = tx.send(Envelope::Msg(Message::UserQuery {
+            qid,
+            text: text.to_string(),
+            endpoint,
+        }));
+    }
+    let got = rrx.recv_timeout(timeout).ok();
+    replies.lock().remove(&endpoint);
+    got.map(|(qid, answer_xml, ok)| LiveReply {
+        qid,
+        answer_xml,
+        ok,
+        latency: posed.elapsed(),
+    })
+}
+
+fn route_all(
+    outs: Vec<Outbound>,
+    senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
+    replies: &Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>,
+) {
+    for o in outs {
+        match o {
+            Outbound::Send { to, msg } => {
+                if let Some(tx) = senders.lock().get(&to) {
+                    let _ = tx.send(Envelope::Msg(msg));
                 }
-                Outbound::ReplyUser { endpoint, qid, answer_xml, ok } => {
-                    if let Some(tx) = replies.lock().get(&endpoint) {
-                        let _ = tx.send((qid, answer_xml, ok));
-                    }
+            }
+            Outbound::ReplyUser { endpoint, qid, answer_xml, ok } => {
+                if let Some(tx) = replies.lock().get(&endpoint) {
+                    let _ = tx.send((qid, answer_xml, ok));
                 }
             }
         }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn site_loop(
+    mut oa: OrganizingAgent,
+    rx: Receiver<Envelope>,
+    self_tx: Sender<Envelope>,
+    dns: Arc<Mutex<AuthoritativeDns>>,
+    senders: Arc<Mutex<HashMap<SiteAddr, Sender<Envelope>>>>,
+    replies: Arc<Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>>,
+    epoch: Instant,
+    workers: usize,
+) -> OrganizingAgent {
+    let queue = Arc::new(WorkQueue::new());
+    let mut worker_joins = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let q = Arc::clone(&queue);
+        let db = oa.shared_db();
+        let qeg = oa.qeg();
+        let tx = self_tx.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("oa-{}-w{}", oa.addr.0, i))
+            .spawn(move || {
+                while let Some(task) = q.pop() {
+                    let done = {
+                        let db = db.read();
+                        perform_read(&task, &qeg, &db)
+                    };
+                    if tx.send(Envelope::Done(done)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn read worker");
+        worker_joins.push(join);
+    }
+    drop(self_tx);
+
+    while let Ok(env) = rx.recv() {
+        let now = epoch.elapsed().as_secs_f64();
+        match env {
+            Envelope::Msg(m) if workers == 0 => {
+                // Serial path: `handle` runs read tasks inline.
+                let outs = {
+                    let mut dns = dns.lock();
+                    oa.handle(m, &mut dns, now)
+                };
+                route_all(outs, &senders, &replies);
+            }
+            Envelope::Msg(m) => {
+                let oc = {
+                    let mut dns = dns.lock();
+                    oa.handle_split(m, &mut dns, now)
+                };
+                route_all(oc.out, &senders, &replies);
+                for t in oc.tasks {
+                    queue.push(t);
+                }
+            }
+            Envelope::Done(d) => {
+                let oc = {
+                    let mut dns = dns.lock();
+                    oa.complete_read(d, &mut dns, now)
+                };
+                route_all(oc.out, &senders, &replies);
+                for t in oc.tasks {
+                    queue.push(t);
+                }
+            }
+            Envelope::Stop => {
+                // Let in-flight reads finish, then apply their completions
+                // (and any follow-up tasks, inline) before exiting so no
+                // query is silently dropped at shutdown.
+                queue.close();
+                for j in worker_joins.drain(..) {
+                    let _ = j.join();
+                }
+                while let Ok(env2) = rx.try_recv() {
+                    let Envelope::Done(d) = env2 else { continue };
+                    let now = epoch.elapsed().as_secs_f64();
+                    let oc = {
+                        let mut dns = dns.lock();
+                        oa.complete_read(d, &mut dns, now)
+                    };
+                    route_all(oc.out, &senders, &replies);
+                    let mut tasks: VecDeque<ReadTask> = oc.tasks.into();
+                    while let Some(t) = tasks.pop_front() {
+                        let done = {
+                            let db = oa.db();
+                            perform_read(&t, &oa.qeg(), &db)
+                        };
+                        let oc2 = {
+                            let mut dns = dns.lock();
+                            oa.complete_read(done, &mut dns, now)
+                        };
+                        route_all(oc2.out, &senders, &replies);
+                        tasks.extend(oc2.tasks);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    queue.close();
+    for j in worker_joins {
+        let _ = j.join();
     }
     oa
 }
@@ -250,10 +478,10 @@ mod tests {
         let mut cluster = LiveCluster::new(svc.clone());
 
         let root = IdPath::from_pairs([("usRegion", "NE")]);
-        let mut oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
-        oa1.db.bootstrap_owned(&master(), &root, true).unwrap();
-        let mut oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
-        oa2.db
+        let oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa1.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
+        let oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
+        oa2.db_mut()
             .bootstrap_owned(&master(), &pgh().child("neighborhood", "Shadyside"), true)
             .unwrap();
 
@@ -261,10 +489,10 @@ mod tests {
         cluster.register_owner(&pgh().child("neighborhood", "Shadyside"), SiteAddr(2));
         // Site 1 must genuinely lack Shadyside: demote and evict it.
         let shady = pgh().child("neighborhood", "Shadyside");
-        oa1.db
+        oa1.db_mut()
             .set_status_subtree(&shady, irisnet_core::Status::Complete)
             .unwrap();
-        oa1.db.evict(&shady).unwrap();
+        oa1.db_mut().evict(&shady).unwrap();
         cluster.add_site(oa1);
         cluster.add_site(oa2);
 
@@ -286,8 +514,8 @@ mod tests {
         let svc = Service::parking();
         let mut cluster = LiveCluster::new(svc.clone());
         let root = IdPath::from_pairs([("usRegion", "NE")]);
-        let mut oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
-        oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+        let oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
         cluster.register_owner(&root, SiteAddr(1));
         cluster.add_site(oa);
 
@@ -312,8 +540,8 @@ mod tests {
         let svc = Service::parking();
         let mut cluster = LiveCluster::new(svc.clone());
         let root = IdPath::from_pairs([("usRegion", "NE")]);
-        let mut oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
-        oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+        let oa = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+        oa.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
         cluster.register_owner(&root, SiteAddr(1));
         cluster.add_site(oa);
         let q = "/usRegion[@id='NE']/state[@id='PA']/county[@id='A']/city[@id='P']\

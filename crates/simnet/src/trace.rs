@@ -28,7 +28,7 @@ impl MsgClass {
     pub fn of(msg: &Message) -> MsgClass {
         match msg {
             Message::UserQuery { .. } => MsgClass::UserQuery,
-            Message::SubQuery { .. } => MsgClass::SubQuery,
+            Message::SubQuery { .. } | Message::SubQueryBatch { .. } => MsgClass::SubQuery,
             Message::SubAnswer { .. } => MsgClass::SubAnswer,
             Message::Update { .. } => MsgClass::Update,
             Message::Delegate { .. }
@@ -178,6 +178,13 @@ mod tests {
             (msg_query(), MsgClass::UserQuery),
             (
                 M::SubQuery { qid: 1, text: "/a".into(), reply_to: SiteAddr(1) },
+                MsgClass::SubQuery,
+            ),
+            (
+                M::SubQueryBatch {
+                    entries: vec![(1, "/a".into()), (2, "/a".into())],
+                    reply_to: SiteAddr(1),
+                },
                 MsgClass::SubQuery,
             ),
             (

@@ -47,12 +47,12 @@ fn main() {
     let south = IdPath::from_pairs([("coast", "Oregon"), ("region", "South")]);
     let root = IdPath::from_pairs([("coast", "Oregon")]);
 
-    let mut oa1 = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
-    oa1.db.bootstrap_owned(&master, &north, true).unwrap();
-    let mut oa2 = OrganizingAgent::new(SiteAddr(2), service.clone(), OaConfig::default());
-    oa2.db.bootstrap_owned(&master, &south, true).unwrap();
-    let mut oa3 = OrganizingAgent::new(SiteAddr(3), service.clone(), OaConfig::default());
-    oa3.db.bootstrap_owned(&master, &root, false).unwrap();
+    let oa1 = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
+    oa1.db_mut().bootstrap_owned(&master, &north, true).unwrap();
+    let oa2 = OrganizingAgent::new(SiteAddr(2), service.clone(), OaConfig::default());
+    oa2.db_mut().bootstrap_owned(&master, &south, true).unwrap();
+    let oa3 = OrganizingAgent::new(SiteAddr(3), service.clone(), OaConfig::default());
+    oa3.db_mut().bootstrap_owned(&master, &root, false).unwrap();
 
     let mut cluster = LiveCluster::new(service.clone());
     cluster.register_owner(&root, SiteAddr(3));
@@ -100,7 +100,7 @@ fn main() {
     let agents = cluster.shutdown();
     for a in &agents {
         if a.addr == SiteAddr(3) {
-            let cached = a.db.status_at(&north.child("station", "Tillamook"));
+            let cached = a.db().status_at(&north.child("station", "Tillamook"));
             println!(
                 "root site's copy of Tillamook after the sweep: {:?}",
                 cached.map(Status::as_str)

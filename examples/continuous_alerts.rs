@@ -33,7 +33,7 @@ fn main() {
     let service = Service::parking();
 
     let root = IdPath::from_pairs([("usRegion", "NE")]);
-    let mut oa = OrganizingAgent::new(
+    let oa = OrganizingAgent::new(
         SiteAddr(1),
         service.clone(),
         OaConfig {
@@ -41,7 +41,7 @@ fn main() {
             ..OaConfig::default()
         },
     );
-    oa.db.bootstrap_owned(&master, &root, true).expect("bootstrap");
+    oa.db_mut().bootstrap_owned(&master, &root, true).expect("bootstrap");
 
     let mut cluster = LiveCluster::new(service.clone());
     cluster.register_owner(&root, SiteAddr(1));

@@ -29,19 +29,19 @@ fn main() {
     let mut cluster = LiveCluster::new(service.clone());
     let cfg = OaConfig { cache: CacheMode::Aggressive, ..OaConfig::default() };
 
-    let mut top = OrganizingAgent::new(SiteAddr(1), service.clone(), cfg.clone());
-    top.db.bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
-    top.db
+    let top = OrganizingAgent::new(SiteAddr(1), service.clone(), cfg.clone());
+    top.db_mut().bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
+    top.db_mut()
         .bootstrap_owned(&db.master, &db.root_path().child("state", "PA"), false)
         .unwrap();
-    top.db.bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
+    top.db_mut().bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
     cluster.register_owner(&db.root_path(), SiteAddr(1));
     cluster.add_site(top);
 
     let mut next = 2u32;
     for ci in 0..db.params.cities {
-        let mut a = OrganizingAgent::new(SiteAddr(next), service.clone(), cfg.clone());
-        a.db.bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
+        let a = OrganizingAgent::new(SiteAddr(next), service.clone(), cfg.clone());
+        a.db_mut().bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
         cluster.register_owner(&db.city_path(ci), SiteAddr(next));
         cluster.add_site(a);
         next += 1;
@@ -49,8 +49,8 @@ fn main() {
     let mut nbhd_sites = Vec::new();
     for ci in 0..db.params.cities {
         for ni in 0..db.params.neighborhoods_per_city {
-            let mut a = OrganizingAgent::new(SiteAddr(next), service.clone(), cfg.clone());
-            a.db.bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), true)
+            let a = OrganizingAgent::new(SiteAddr(next), service.clone(), cfg.clone());
+            a.db_mut().bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), true)
                 .unwrap();
             cluster.register_owner(&db.neighborhood_path(ci, ni), SiteAddr(next));
             cluster.add_site(a);

@@ -41,15 +41,15 @@ fn main() {
     ]);
 
     // Site 1: everything except Shadyside. Site 2: Shadyside.
-    let mut oa1 = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
-    oa1.db.bootstrap_owned(&master, &IdPath::from_pairs([("usRegion", "NE")]), true)
+    let oa1 = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
+    oa1.db_mut().bootstrap_owned(&master, &IdPath::from_pairs([("usRegion", "NE")]), true)
         .unwrap();
     let shadyside = pgh.child("neighborhood", "Shadyside");
-    oa1.db.set_status_subtree(&shadyside, irisnet::core::Status::Complete).unwrap();
-    oa1.db.evict(&shadyside).unwrap();
+    oa1.db_mut().set_status_subtree(&shadyside, irisnet::core::Status::Complete).unwrap();
+    oa1.db_mut().evict(&shadyside).unwrap();
 
-    let mut oa2 = OrganizingAgent::new(SiteAddr(2), service.clone(), OaConfig::default());
-    oa2.db.bootstrap_owned(&master, &shadyside, true).unwrap();
+    let oa2 = OrganizingAgent::new(SiteAddr(2), service.clone(), OaConfig::default());
+    oa2.db_mut().bootstrap_owned(&master, &shadyside, true).unwrap();
 
     // A live cluster: one thread per site, shared DNS.
     let mut cluster = LiveCluster::new(service.clone());

@@ -42,8 +42,8 @@ fn subscriber_receives_initial_snapshot_and_pushes() {
     let service = Service::parking();
     let mut cluster = LiveCluster::new(service.clone());
     let root = IdPath::from_pairs([("usRegion", "NE")]);
-    let mut oa = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
-    oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+    let oa = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
+    oa.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
     cluster.register_owner(&root, SiteAddr(1));
     cluster.add_site(oa);
 
@@ -92,8 +92,8 @@ fn pushes_observed_through_des() {
     let service = Service::parking();
     let mut sim = DesCluster::new(CostModel::default());
     let root = IdPath::from_pairs([("usRegion", "NE")]);
-    let mut oa = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
-    oa.db.bootstrap_owned(&master(), &root, true).unwrap();
+    let oa = OrganizingAgent::new(SiteAddr(1), service.clone(), OaConfig::default());
+    oa.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
     sim.dns.register(&service.dns_name(&root), SiteAddr(1));
     sim.add_site(oa);
 
@@ -143,17 +143,17 @@ fn ttl_eviction_causes_refetch_after_expiry() {
     let mut sim = DesCluster::new(CostModel::default());
     let root = IdPath::from_pairs([("usRegion", "NE")]);
     // Owner holds everything but the block lives on site 2.
-    let mut oa1 = OrganizingAgent::new(
+    let oa1 = OrganizingAgent::new(
         SiteAddr(1),
         service.clone(),
         OaConfig { eviction: EvictionPolicy::Ttl { max_age: 30.0 }, ..OaConfig::default() },
     );
-    oa1.db.bootstrap_owned(&master(), &root, true).unwrap();
+    oa1.db_mut().bootstrap_owned(&master(), &root, true).unwrap();
     let bp = block_path();
-    oa1.db.set_status_subtree(&bp, irisnet_core::Status::Complete).unwrap();
-    oa1.db.evict(&bp).unwrap();
-    let mut oa2 = OrganizingAgent::new(SiteAddr(2), service.clone(), OaConfig::default());
-    oa2.db.bootstrap_owned(&master(), &bp, true).unwrap();
+    oa1.db_mut().set_status_subtree(&bp, irisnet_core::Status::Complete).unwrap();
+    oa1.db_mut().evict(&bp).unwrap();
+    let oa2 = OrganizingAgent::new(SiteAddr(2), service.clone(), OaConfig::default());
+    oa2.db_mut().bootstrap_owned(&master(), &bp, true).unwrap();
     sim.dns.register(&service.dns_name(&root), SiteAddr(1));
     sim.dns.register(&service.dns_name(&bp), SiteAddr(2));
     sim.add_site(oa1);

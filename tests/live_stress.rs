@@ -23,18 +23,18 @@ fn concurrent_clients_updates_and_migrations() {
     let mut cluster = LiveCluster::new(svc.clone());
 
     // Hierarchical placement.
-    let mut top = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
-    top.db.bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
-    top.db
+    let top = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+    top.db_mut().bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
+    top.db_mut()
         .bootstrap_owned(&db.master, &db.root_path().child("state", "PA"), false)
         .unwrap();
-    top.db.bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
+    top.db_mut().bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
     cluster.register_owner(&db.root_path(), SiteAddr(1));
     cluster.add_site(top);
     let mut next = 2u32;
     for ci in 0..db.params.cities {
-        let mut a = OrganizingAgent::new(SiteAddr(next), svc.clone(), OaConfig::default());
-        a.db.bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
+        let a = OrganizingAgent::new(SiteAddr(next), svc.clone(), OaConfig::default());
+        a.db_mut().bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
         cluster.register_owner(&db.city_path(ci), SiteAddr(next));
         cluster.add_site(a);
         next += 1;
@@ -42,8 +42,8 @@ fn concurrent_clients_updates_and_migrations() {
     let mut nbhd_sites = Vec::new();
     for ci in 0..db.params.cities {
         for ni in 0..db.params.neighborhoods_per_city {
-            let mut a = OrganizingAgent::new(SiteAddr(next), svc.clone(), OaConfig::default());
-            a.db.bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), true)
+            let a = OrganizingAgent::new(SiteAddr(next), svc.clone(), OaConfig::default());
+            a.db_mut().bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), true)
                 .unwrap();
             cluster.register_owner(&db.neighborhood_path(ci, ni), SiteAddr(next));
             cluster.add_site(a);
@@ -156,7 +156,7 @@ fn concurrent_clients_updates_and_migrations() {
     let block = db.block_path(0, 0, 0);
     let owners = agents
         .iter()
-        .filter(|a| a.db.status_at(&block) == Some(irisnet_core::Status::Owned))
+        .filter(|a| a.db().status_at(&block) == Some(irisnet_core::Status::Owned))
         .count();
     assert_eq!(owners, 1, "exactly one owner after migration storm");
 }

@@ -89,11 +89,11 @@ fn migration_under_concurrent_queries_and_updates() {
 
     // Ownership flipped everywhere.
     assert_eq!(
-        built.sim.site(new_owner).unwrap().db.status_at(&block),
+        built.sim.site(new_owner).unwrap().db().status_at(&block),
         Some(Status::Owned)
     );
     assert_eq!(
-        built.sim.site(old_owner).unwrap().db.status_at(&block),
+        built.sim.site(old_owner).unwrap().db().status_at(&block),
         Some(Status::Complete)
     );
     // The held update made it to the new owner (applied or forwarded).
@@ -130,8 +130,8 @@ fn chained_migration_moves_twice() {
     built.sim.schedule_message(0.0, s0, Message::Delegate { path: block.clone(), to: s1 });
     built.sim.schedule_message(1.0, s1, Message::Delegate { path: block.clone(), to: s2 });
     built.sim.run_until(5.0);
-    assert_eq!(built.sim.site(s2).unwrap().db.status_at(&block), Some(Status::Owned));
-    assert_eq!(built.sim.site(s1).unwrap().db.status_at(&block), Some(Status::Complete));
+    assert_eq!(built.sim.site(s2).unwrap().db().status_at(&block), Some(Status::Owned));
+    assert_eq!(built.sim.site(s1).unwrap().db().status_at(&block), Some(Status::Complete));
     // A query posed through stale knowledge still gets answered: route it
     // deliberately at the *first* owner.
     let q = format!("{}/parkingSpace", block.to_xpath());
@@ -178,7 +178,7 @@ fn consistency_tolerance_served_from_cache_when_fresh() {
     pose_at(&mut built, 1.0, &warm);
     built.sim.run_until(5.0);
     let city_site = built.sites[1];
-    let cached = built.sim.site(city_site).unwrap().db.status_at(&block);
+    let cached = built.sim.site(city_site).unwrap().db().status_at(&block);
     assert_eq!(cached, Some(Status::Complete), "city cache warmed");
     built.sim.take_unclaimed_replies();
 

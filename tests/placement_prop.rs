@@ -27,21 +27,21 @@ fn build(db: &ParkingDb, placement: &[u8], sites: u8) -> DesCluster {
     let mut sim = DesCluster::new(CostModel::default());
     let cfg = OaConfig::default();
 
-    let mut agents: Vec<OrganizingAgent> = (1..=u32::from(sites) + 1)
+    let agents: Vec<OrganizingAgent> = (1..=u32::from(sites) + 1)
         .map(|a| OrganizingAgent::new(SiteAddr(a), svc.clone(), cfg.clone()))
         .collect();
     // Site 1: hierarchy nodes only.
-    agents[0].db.bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
+    agents[0].db_mut().bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
     agents[0]
-        .db
+        .db_mut()
         .bootstrap_owned(&db.master, &db.root_path().child("state", "PA"), false)
         .unwrap();
-    agents[0].db.bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
+    agents[0].db_mut().bootstrap_owned(&db.master, &db.county_path(), false).unwrap();
     for ci in 0..db.params.cities {
-        agents[0].db.bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
+        agents[0].db_mut().bootstrap_owned(&db.master, &db.city_path(ci), false).unwrap();
         for ni in 0..db.params.neighborhoods_per_city {
             agents[0]
-                .db
+                .db_mut()
                 .bootstrap_owned(&db.master, &db.neighborhood_path(ci, ni), false)
                 .unwrap();
         }
@@ -50,7 +50,7 @@ fn build(db: &ParkingDb, placement: &[u8], sites: u8) -> DesCluster {
     // Blocks by placement.
     for (i, bp) in db.all_block_paths().into_iter().enumerate() {
         let site_idx = 1 + (placement[i % placement.len()] as usize % sites as usize);
-        agents[site_idx].db.bootstrap_owned(&db.master, &bp, true).unwrap();
+        agents[site_idx].db_mut().bootstrap_owned(&db.master, &bp, true).unwrap();
         sim.dns.register(&svc.dns_name(&bp), SiteAddr(site_idx as u32 + 1));
     }
     for a in agents {

@@ -1,0 +1,116 @@
+//! Worker-count equivalence: the intra-site read-worker pool must not
+//! change *what* a site answers, only how fast. The same t1/t3 query mix,
+//! posed in the same order against identically bootstrapped clusters, must
+//! produce byte-identical canonical answers for worker counts 1, 2 and 8 —
+//! and must match the serial discrete-event simulator, which doubles as
+//! the correctness oracle.
+
+use std::time::Duration;
+
+use irisdns::SiteAddr;
+use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{Endpoint, Message, OaConfig, OrganizingAgent, Status};
+use simnet::{CostModel, DesCluster, LiveCluster};
+
+fn params() -> DbParams {
+    DbParams {
+        cities: 1,
+        neighborhoods_per_city: 2,
+        blocks_per_neighborhood: 3,
+        spaces_per_block: 3,
+    }
+}
+
+/// A deterministic mix of fully-specified (t1) and multi-neighborhood (t3)
+/// queries — the read-mostly workload the worker pool targets.
+fn query_mix(db: &ParkingDb) -> Vec<String> {
+    let mut t1 = Workload::uniform(db, QueryType::T1, 7);
+    let mut t3 = Workload::uniform(db, QueryType::T3, 11);
+    (0..24)
+        .map(|i| if i % 3 == 0 { t3.next_query() } else { t1.next_query() })
+        .collect()
+}
+
+/// Site 1 owns the whole region except neighborhood (0,1), which site 2
+/// owns — so t3 queries force a subquery round-trip and cache fill.
+fn make_agents(db: &ParkingDb) -> (OrganizingAgent, OrganizingAgent) {
+    let svc = db.service.clone();
+    let oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+    oa1.db_mut().bootstrap_owned(&db.master, &db.root_path(), true).unwrap();
+    let carved = db.neighborhood_path(0, 1);
+    oa1.db_mut().set_status_subtree(&carved, Status::Complete).unwrap();
+    oa1.db_mut().evict(&carved).unwrap();
+    let oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), OaConfig::default());
+    oa2.db_mut().bootstrap_owned(&db.master, &carved, true).unwrap();
+    (oa1, oa2)
+}
+
+fn canon(xml: &str) -> String {
+    let doc = sensorxml::parse(xml).expect("answer parses");
+    sensorxml::canonical_string(&doc, doc.root().unwrap())
+}
+
+fn live_answers(db: &ParkingDb, workers: usize) -> Vec<String> {
+    let mut cluster = LiveCluster::new(db.service.clone());
+    let (oa1, oa2) = make_agents(db);
+    cluster.register_owner(&db.root_path(), SiteAddr(1));
+    cluster.register_owner(&db.neighborhood_path(0, 1), SiteAddr(2));
+    cluster.add_site_with_workers(oa1, workers);
+    cluster.add_site_with_workers(oa2, workers);
+    let answers = query_mix(db)
+        .iter()
+        .map(|q| {
+            let r = cluster.pose_query(q, Duration::from_secs(30)).expect("reply");
+            assert!(r.ok, "query failed at {workers} workers: {q}: {}", r.answer_xml);
+            canon(&r.answer_xml)
+        })
+        .collect();
+    cluster.shutdown();
+    answers
+}
+
+#[test]
+fn answers_identical_across_worker_counts() {
+    let db = ParkingDb::generate(params(), 42);
+    let serial = live_answers(&db, 0);
+    assert_eq!(serial.len(), 24);
+    for workers in [1, 2, 8] {
+        let got = live_answers(&db, workers);
+        assert_eq!(serial, got, "answers diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn live_answers_match_des_oracle() {
+    let db = ParkingDb::generate(params(), 42);
+    let live = live_answers(&db, 4);
+
+    let mut sim = DesCluster::new(CostModel::default());
+    let (oa1, oa2) = make_agents(&db);
+    let svc = db.service.clone();
+    sim.dns.register(&svc.dns_name(&db.root_path()), SiteAddr(1));
+    sim.dns
+        .register(&svc.dns_name(&db.neighborhood_path(0, 1)), SiteAddr(2));
+    sim.add_site(oa1);
+    sim.add_site(oa2);
+
+    // Inject the same mix, spaced far enough apart that each query drains
+    // before the next is posed (matching the sequential live clients).
+    // Unregistered endpoints land in the unclaimed-reply bin, in order.
+    let queries = query_mix(&db);
+    for (i, q) in queries.iter().enumerate() {
+        sim.schedule_message(
+            i as f64 * 50.0,
+            SiteAddr(1),
+            Message::UserQuery {
+                qid: i as u64 + 1,
+                text: q.clone(),
+                endpoint: Endpoint(10_000 + i as u64),
+            },
+        );
+    }
+    sim.run_until(queries.len() as f64 * 50.0 + 50.0);
+    let des: Vec<String> =
+        sim.take_unclaimed_replies().iter().map(|x| canon(x)).collect();
+    assert_eq!(live, des, "live worker-pool answers diverge from the DES oracle");
+}
