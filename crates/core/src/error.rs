@@ -23,6 +23,9 @@ pub enum CoreError {
     Protocol(String),
     /// DNS could not resolve a required site name.
     Unresolvable(String),
+    /// The target site has shut down (or is shutting down): its pending
+    /// work is completed with this error instead of blocking callers.
+    SiteDown,
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +38,7 @@ impl fmt::Display for CoreError {
             CoreError::Invariant(m) => write!(f, "invariant violation: {m}"),
             CoreError::Protocol(m) => write!(f, "protocol error: {m}"),
             CoreError::Unresolvable(m) => write!(f, "unresolvable site name: {m}"),
+            CoreError::SiteDown => write!(f, "site down"),
         }
     }
 }

@@ -34,7 +34,7 @@ pub mod service;
 pub use agent::{
     perform_read, CacheMode, Endpoint, HandleOutcome, Message, OaConfig, OaStats,
     OrganizingAgent, Outbound, QueryId, ReadDone, ReadResult, ReadTask, ReadTaskKind,
-    SensingAgent,
+    RetryPolicy, SensingAgent,
 };
 pub use continuous::{ContinuousRegistry, Notification};
 pub use error::{CoreError, CoreResult};

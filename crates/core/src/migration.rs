@@ -60,7 +60,7 @@ impl OrganizingAgent {
         fragment_xml: &str,
         from: SiteAddr,
         dns: &mut AuthoritativeDns,
-        _now: f64,
+        now: f64,
         out: &mut Vec<Outbound>,
     ) {
         {
@@ -77,9 +77,11 @@ impl OrganizingAgent {
         // Taking ownership supersedes any forwarding entry we held from a
         // past delegation of the same node.
         self.forward_map().remove(&path);
-        // Step 4: flip the DNS entry — the atomicity point.
+        // Step 4: flip the DNS entry — the atomicity point. Timed so a
+        // configured staleness window keeps serving the old owner briefly
+        // (tolerated via that owner's forwarding entry).
         let name = self.service.dns_name(&path);
-        dns.register(&name, self.addr);
+        dns.register_at(&name, self.addr, now);
         out.push(Outbound::Send {
             to: from,
             msg: Message::TakeAck { path, new_owner: self.addr },

@@ -37,7 +37,7 @@ fn malformed_user_query_gets_error_reply() {
         0.0,
     );
     assert_eq!(out.len(), 1);
-    let Outbound::ReplyUser { ok, answer_xml, qid, endpoint } = &out[0] else {
+    let Outbound::ReplyUser { ok, answer_xml, qid, endpoint, .. } = &out[0] else {
         panic!("expected a reply")
     };
     assert!(!ok);
@@ -57,7 +57,7 @@ fn malformed_subquery_gets_empty_answer() {
     assert_eq!(out.len(), 1);
     let Outbound::Send { to, msg } = &out[0] else { panic!() };
     assert_eq!(*to, SiteAddr(2));
-    let Message::SubAnswer { qid, fragment_xml } = msg else { panic!() };
+    let Message::SubAnswer { qid, fragment_xml, .. } = msg else { panic!() };
     assert_eq!(*qid, 9);
     assert!(fragment_xml.is_empty());
 }
@@ -67,14 +67,14 @@ fn late_and_duplicate_subanswers_are_ignored() {
     let (mut oa, mut dns) = owner_agent(1);
     // No pending query: a stray answer is dropped silently.
     let out = oa.handle(
-        Message::SubAnswer { qid: 4242, fragment_xml: "<usRegion id=\"NE\"/>".into() },
+        Message::SubAnswer { qid: 4242, fragment_xml: "<usRegion id=\"NE\"/>".into(), partial: false },
         &mut dns,
         0.0,
     );
     assert!(out.is_empty());
     // A corrupt fragment for a stray id is also dropped.
     let out = oa.handle(
-        Message::SubAnswer { qid: 4242, fragment_xml: "<broken".into() },
+        Message::SubAnswer { qid: 4242, fragment_xml: "<broken".into(), partial: false },
         &mut dns,
         0.0,
     );

@@ -98,7 +98,7 @@ fn final_answer(oa: &OrganizingAgent, svc: &Service, q: &str, pid: u64) -> Strin
     let task = ReadTask {
         pid,
         posed_at: 0.0,
-        kind: ReadTaskKind::FinalizeUser { plan, endpoint: Endpoint(0), qid: pid },
+        kind: ReadTaskKind::FinalizeUser { plan, endpoint: Endpoint(0), qid: pid, failed: Vec::new() },
     };
     let done = {
         let db = oa.db();

@@ -79,7 +79,7 @@ impl CachingResolver {
             _ => {}
         }
         self.authoritative_queries += 1;
-        match auth.lookup(name) {
+        match auth.lookup_at(name, now) {
             Some(ans) => {
                 self.cache.insert(
                     name.clone(),
@@ -108,6 +108,20 @@ impl CachingResolver {
     /// was stale).
     pub fn invalidate(&mut self, name: &DnsName) {
         self.cache.remove(name);
+    }
+
+    /// Bypasses the local cache: invalidates any entry for `name` and goes
+    /// straight to the authoritative store. Used by the retry path when an
+    /// owner looks unreachable — a migration may have moved it and the
+    /// cached address is the whole problem.
+    pub fn resolve_fresh(
+        &mut self,
+        name: &DnsName,
+        auth: &AuthoritativeDns,
+        now: f64,
+    ) -> Option<ResolveOutcome> {
+        self.invalidate(name);
+        self.resolve(name, auth, now)
     }
 
     /// Drops every expired entry.
@@ -210,6 +224,21 @@ mod tests {
         // ...until invalidated.
         r.invalidate(&name);
         assert_eq!(r.resolve(&name, &auth, 2.0).unwrap().addr, SiteAddr(9));
+    }
+
+    #[test]
+    fn resolve_fresh_bypasses_cache() {
+        let (mut auth, mut r) = setup();
+        let name = DnsName::parse("oakland.pgh.net");
+        assert_eq!(r.resolve(&name, &auth, 0.0).unwrap().addr, SiteAddr(5));
+        auth.register(&name, SiteAddr(9));
+        // Cached answer is stale; a fresh resolve sees the new owner.
+        assert_eq!(r.resolve(&name, &auth, 1.0).unwrap().addr, SiteAddr(5));
+        let fresh = r.resolve_fresh(&name, &auth, 2.0).unwrap();
+        assert_eq!(fresh.addr, SiteAddr(9));
+        assert!(!fresh.cache_hit);
+        // And the fresh answer re-primes the cache.
+        assert!(r.resolve(&name, &auth, 3.0).unwrap().cache_hit);
     }
 
     #[test]

@@ -11,6 +11,10 @@ pub struct SiteAddr(pub u32);
 #[derive(Debug, Default)]
 struct ZoneNode {
     record: Option<SiteAddr>,
+    /// The previous address plus the time until which it is still served
+    /// (staleness-window emulation; see
+    /// [`AuthoritativeDns::set_staleness_window`]).
+    prev: Option<(SiteAddr, f64)>,
     children: HashMap<String, ZoneNode>,
 }
 
@@ -24,6 +28,11 @@ struct ZoneNode {
 pub struct AuthoritativeDns {
     root: ZoneNode,
     records: usize,
+    /// Seconds a re-registered record keeps answering with its *old*
+    /// address (0 = updates are visible immediately, the default). Models
+    /// real-DNS propagation lag, which the migration protocol must
+    /// tolerate via the old owner's forwarding (§4).
+    staleness_window: f64,
 }
 
 /// A successful authoritative lookup.
@@ -43,14 +52,36 @@ impl AuthoritativeDns {
         AuthoritativeDns::default()
     }
 
-    /// Registers (or updates) `name → addr`. Returns the previous address
-    /// if the record existed.
+    /// Sets the staleness window applied by timed registrations
+    /// ([`AuthoritativeDns::register_at`]): for `secs` after an update the
+    /// old address keeps being served by timed lookups.
+    pub fn set_staleness_window(&mut self, secs: f64) {
+        self.staleness_window = secs;
+    }
+
+    /// Registers (or updates) `name → addr` with immediate visibility.
+    /// Returns the previous address if the record existed.
     pub fn register(&mut self, name: &DnsName, addr: SiteAddr) -> Option<SiteAddr> {
+        self.register_at(name, addr, f64::NEG_INFINITY)
+    }
+
+    /// Registers (or updates) `name → addr` at time `now`. If a staleness
+    /// window is configured and the record changes address, lookups via
+    /// [`AuthoritativeDns::lookup_at`] keep answering the old address until
+    /// `now + window`.
+    pub fn register_at(&mut self, name: &DnsName, addr: SiteAddr, now: f64) -> Option<SiteAddr> {
+        let window = self.staleness_window;
         let mut node = &mut self.root;
         for label in name.labels().iter().rev() {
             node = node.children.entry(label.clone()).or_default();
         }
         let old = node.record.replace(addr);
+        match old {
+            Some(prev_addr) if prev_addr != addr && window > 0.0 => {
+                node.prev = Some((prev_addr, now + window));
+            }
+            _ => node.prev = None,
+        }
         if old.is_none() {
             self.records += 1;
         }
@@ -78,11 +109,26 @@ impl AuthoritativeDns {
     /// Exact-or-longest-ancestor lookup (the paper notes DNS's longest
     /// prefix match as the reason it suits the hierarchical data). Returns
     /// `None` only if no ancestor of the name is registered either.
+    /// Ignores staleness windows (equivalent to looking up infinitely far
+    /// in the future).
     pub fn lookup(&self, name: &DnsName) -> Option<AuthAnswer> {
+        self.lookup_at(name, f64::INFINITY)
+    }
+
+    /// [`AuthoritativeDns::lookup`] at time `now`: if the best record was
+    /// re-registered within the staleness window, the *old* address is
+    /// returned — the propagation lag clients actually observe.
+    pub fn lookup_at(&self, name: &DnsName, now: f64) -> Option<AuthAnswer> {
         let mut node = &self.root;
         let mut best: Option<(SiteAddr, u32)> = None;
         let mut depth = 0u32;
-        if let Some(r) = node.record {
+        let serve = |n: &ZoneNode| -> Option<SiteAddr> {
+            match (n.record, n.prev) {
+                (Some(_), Some((prev, until))) if now < until => Some(prev),
+                (r, _) => r,
+            }
+        };
+        if let Some(r) = serve(node) {
             best = Some((r, depth));
         }
         let labels = name.labels();
@@ -93,7 +139,7 @@ impl AuthoritativeDns {
                     node = child;
                     depth += 1;
                     matched += 1;
-                    if let Some(r) = node.record {
+                    if let Some(r) = serve(node) {
                         best = Some((r, depth));
                     }
                 }
@@ -103,7 +149,7 @@ impl AuthoritativeDns {
         best.map(|(addr, hops)| AuthAnswer {
             addr,
             hops,
-            exact: matched == labels.len() && node.record.map(|r| r == addr).unwrap_or(false)
+            exact: matched == labels.len() && serve(node).map(|r| r == addr).unwrap_or(false)
                 && hops as usize == labels.len(),
         })
     }
@@ -247,6 +293,28 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].0.to_string(), "a.net");
         assert_eq!(recs[1].0.to_string(), "b.a.net");
+    }
+
+    #[test]
+    fn staleness_window_serves_old_address() {
+        let mut dns = AuthoritativeDns::new();
+        dns.set_staleness_window(30.0);
+        dns.register_at(&n("a.net"), SiteAddr(1), 0.0);
+        // First registration: no previous address, visible immediately.
+        assert_eq!(dns.lookup_at(&n("a.net"), 0.0).unwrap().addr, SiteAddr(1));
+        // Re-registration at t=100: old address served until t=130.
+        dns.register_at(&n("a.net"), SiteAddr(2), 100.0);
+        assert_eq!(dns.lookup_at(&n("a.net"), 100.0).unwrap().addr, SiteAddr(1));
+        assert_eq!(dns.lookup_at(&n("a.net"), 129.9).unwrap().addr, SiteAddr(1));
+        assert_eq!(dns.lookup_at(&n("a.net"), 130.0).unwrap().addr, SiteAddr(2));
+        // Untimed lookup ignores staleness entirely.
+        assert_eq!(dns.lookup(&n("a.net")).unwrap().addr, SiteAddr(2));
+        // Same-address re-registration clears any pending staleness.
+        dns.register_at(&n("a.net"), SiteAddr(2), 101.0);
+        assert_eq!(dns.lookup_at(&n("a.net"), 102.0).unwrap().addr, SiteAddr(2));
+        // Untimed register() is never stale even with a window configured.
+        dns.register(&n("a.net"), SiteAddr(3));
+        assert_eq!(dns.lookup_at(&n("a.net"), 0.0).unwrap().addr, SiteAddr(3));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::time::Instant;
 use irisdns::{AuthoritativeDns, CachingResolver, SiteAddr};
 use irisnet_core::{Endpoint, Message, OrganizingAgent, Outbound, QueryId};
 
+use crate::faults::{FaultCounts, FaultPlan, FaultState};
 use crate::trace::Trace;
 
 /// Service-time model, calibratable against the live cluster.
@@ -92,7 +93,23 @@ pub struct ReplyRecord {
     pub posed_at: f64,
     pub completed_at: f64,
     pub ok: bool,
+    /// True if retries were exhausted for part of the queried subtree and
+    /// the answer carries `partial="true"` covering stubs.
+    pub partial: bool,
     pub answer_len: usize,
+}
+
+/// An answer addressed to an endpoint with no registered closed-loop
+/// client (queries injected via [`DesCluster::schedule_message`]), with
+/// full delivery metadata.
+#[derive(Debug, Clone)]
+pub struct UnclaimedReply {
+    pub endpoint: Endpoint,
+    pub qid: QueryId,
+    pub answer_xml: String,
+    pub ok: bool,
+    pub partial: bool,
+    pub completed_at: f64,
 }
 
 /// A closed-loop client population: each client poses one query, waits for
@@ -108,10 +125,13 @@ pub struct ClientLoad {
 enum Payload {
     /// Deliver a message to a site.
     ToSite(SiteAddr, Message),
-    /// A user reply arriving back at the client hub.
-    ToClient(Endpoint, QueryId, String, bool),
+    /// A user reply arriving back at the client hub
+    /// (endpoint, qid, answer, ok, partial).
+    ToClient(Endpoint, QueryId, String, bool, bool),
     /// A closed-loop client (re)starts and poses its next query.
     ClientPose(usize),
+    /// A site's retry-timer deadline: run its agent's tick.
+    Tick(SiteAddr),
 }
 
 struct Event {
@@ -176,7 +196,11 @@ pub struct DesCluster {
     pub update_completions: Vec<f64>,
     /// Answers addressed to endpoints with no registered closed-loop
     /// client (queries injected via [`DesCluster::schedule_message`]).
-    unclaimed_replies: Vec<String>,
+    unclaimed_replies: Vec<UnclaimedReply>,
+    /// Active fault injection (None = perfectly reliable network).
+    faults: Option<FaultState>,
+    /// Earliest queued [`Payload::Tick`] per site (dedup guard).
+    tick_scheduled: HashMap<SiteAddr, f64>,
     /// Per-site, per-message-class flight recorder.
     pub trace: Trace,
     /// Per-link one-way latencies (symmetric); anything not listed uses
@@ -203,9 +227,26 @@ impl DesCluster {
             route_override: None,
             update_completions: Vec::new(),
             unclaimed_replies: Vec::new(),
+            faults: None,
+            tick_scheduled: HashMap::new(),
             trace: Trace::new(),
             link_latency: HashMap::new(),
         }
+    }
+
+    /// Installs a fault plan; site-to-site deliveries from now on pass
+    /// through its drop/duplicate/delay/crash decisions, and the
+    /// authoritative DNS adopts the plan's staleness window. Client links
+    /// (query injection and reply delivery) stay reliable so that faults
+    /// exercise the protocol, not the harness.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.dns.set_staleness_window(plan.dns_stale_window);
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// Observability counters for the active fault plan (zeroes if none).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults.as_ref().map(|f| f.counts).unwrap_or_default()
     }
 
     /// Adds a site; its address must be unique.
@@ -234,6 +275,15 @@ impl DesCluster {
     /// the return channel for queries injected via
     /// [`DesCluster::schedule_message`].
     pub fn take_unclaimed_replies(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.unclaimed_replies)
+            .into_iter()
+            .map(|r| r.answer_xml)
+            .collect()
+    }
+
+    /// Like [`DesCluster::take_unclaimed_replies`] but keeps the delivery
+    /// metadata (endpoint, ok/partial flags, completion time).
+    pub fn take_unclaimed_detailed(&mut self) -> Vec<UnclaimedReply> {
         std::mem::take(&mut self.unclaimed_replies)
     }
 
@@ -300,15 +350,24 @@ impl DesCluster {
             self.events_processed += 1;
             match ev.payload {
                 Payload::ToSite(addr, msg) => self.deliver(addr, msg),
-                Payload::ToClient(endpoint, qid, answer_xml, ok) => {
-                    self.on_reply(endpoint, qid, answer_xml, ok);
+                Payload::ToClient(endpoint, qid, answer_xml, ok, partial) => {
+                    self.on_reply(endpoint, qid, answer_xml, ok, partial);
                 }
                 Payload::ClientPose(i) => self.client_pose(i),
+                Payload::Tick(addr) => self.tick_site(addr),
             }
         }
     }
 
     fn deliver(&mut self, addr: SiteAddr, msg: Message) {
+        // Crash windows: a down site receives nothing (unreachability, not
+        // amnesia — its state is intact for the restart).
+        if let Some(f) = self.faults.as_mut() {
+            if f.site_down(addr, self.now) {
+                f.counts.crash_drops += 1;
+                return;
+            }
+        }
         let Some(site) = self.sites.get_mut(&addr) else { return };
         let start = self.now.max(site.busy_until);
         let doc_nodes = site.oa.db().doc().arena_len();
@@ -323,30 +382,106 @@ impl DesCluster {
         if matches!(msg, Message::Update { .. }) {
             self.update_completions.push(done);
         }
+        self.route_outs(addr, done, outs);
+        self.schedule_site_tick(addr);
+    }
+
+    /// Schedules a site's outbound traffic, applying the fault plan to
+    /// site-to-site links. Replies to clients are never faulted.
+    fn route_outs(&mut self, from: SiteAddr, done: f64, outs: Vec<Outbound>) {
         for o in outs {
             match o {
                 Outbound::Send { to, msg } => {
-                    let lat = self.latency_between(addr, to);
-                    self.push(done + lat, Payload::ToSite(to, msg));
+                    let lat = self.latency_between(from, to);
+                    match self.faults.as_mut().map(|f| (f.decide(from, to), f.plan().dup_extra_delay)) {
+                        Some((d, dup_extra)) => {
+                            if d.drop {
+                                continue;
+                            }
+                            let at = done + lat + d.extra_delay;
+                            if d.duplicate {
+                                self.push(at + dup_extra, Payload::ToSite(to, msg.clone()));
+                            }
+                            self.push(at, Payload::ToSite(to, msg));
+                        }
+                        None => self.push(done + lat, Payload::ToSite(to, msg)),
+                    }
                 }
-                Outbound::ReplyUser { endpoint, qid, answer_xml, ok } => {
+                Outbound::ReplyUser { endpoint, qid, answer_xml, ok, partial } => {
                     self.push(
                         done + self.costs.net_latency,
-                        Payload::ToClient(endpoint, qid, answer_xml, ok),
+                        Payload::ToClient(endpoint, qid, answer_xml, ok, partial),
                     );
                 }
             }
         }
     }
 
-    fn on_reply(&mut self, endpoint: Endpoint, qid: QueryId, answer_xml: String, ok: bool) {
+    /// Queues a [`Payload::Tick`] for the site's next retry deadline,
+    /// unless an earlier-or-equal tick is already queued. With retries
+    /// disabled (the default) agents report no deadline and no tick events
+    /// exist at all.
+    fn schedule_site_tick(&mut self, addr: SiteAddr) {
+        let Some(site) = self.sites.get(&addr) else { return };
+        let Some(deadline) = site.oa.next_deadline() else { return };
+        let at = deadline.max(self.now);
+        if self.tick_scheduled.get(&addr).is_some_and(|&t| t <= at) {
+            return;
+        }
+        self.tick_scheduled.insert(addr, at);
+        self.push(at, Payload::Tick(addr));
+    }
+
+    fn tick_site(&mut self, addr: SiteAddr) {
+        if self.tick_scheduled.get(&addr).is_some_and(|&t| t <= self.now) {
+            self.tick_scheduled.remove(&addr);
+        }
+        // A crashed site's timers are frozen until it restarts.
+        if let Some(f) = &self.faults {
+            if let Some(up) = f.plan().down_until(addr, self.now) {
+                if up.is_finite()
+                    && !self.tick_scheduled.get(&addr).is_some_and(|&t| t <= up)
+                {
+                    self.tick_scheduled.insert(addr, up);
+                    self.push(up, Payload::Tick(addr));
+                }
+                return;
+            }
+        }
+        let Some(site) = self.sites.get_mut(&addr) else { return };
+        // Ticks are pure bookkeeping (timer scans): charged zero service
+        // time, but serialized after any in-progress message handling.
+        let start = self.now.max(site.busy_until);
+        let outs = site.oa.tick(&mut self.dns, start);
+        self.route_outs(addr, start, outs);
+        self.schedule_site_tick(addr);
+    }
+
+    fn on_reply(
+        &mut self,
+        endpoint: Endpoint,
+        qid: QueryId,
+        answer_xml: String,
+        ok: bool,
+        partial: bool,
+    ) {
         let idx = endpoint.0 as usize;
+        let unclaimed = |answer_xml: String, now: f64| UnclaimedReply {
+            endpoint,
+            qid,
+            answer_xml,
+            ok,
+            partial,
+            completed_at: now,
+        };
         let Some(client) = self.clients.get_mut(idx) else {
-            self.unclaimed_replies.push(answer_xml);
+            let r = unclaimed(answer_xml, self.now);
+            self.unclaimed_replies.push(r);
             return;
         };
         let Some(posed_at) = client.outstanding.remove(&qid) else {
-            self.unclaimed_replies.push(answer_xml);
+            let r = unclaimed(answer_xml, self.now);
+            self.unclaimed_replies.push(r);
             return;
         };
         let answer_len = answer_xml.len();
@@ -356,6 +491,7 @@ impl DesCluster {
             posed_at,
             completed_at: self.now,
             ok,
+            partial,
             answer_len,
         });
         let think = self.load.as_ref().map(|l| l.think_time);
@@ -386,6 +522,7 @@ impl DesCluster {
                     posed_at: self.now,
                     completed_at: self.now,
                     ok: false,
+                    partial: false,
                     answer_len: 0,
                 });
                 self.clients[idx].outstanding.clear();

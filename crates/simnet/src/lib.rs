@@ -16,11 +16,13 @@
 //!   both.
 
 pub mod des;
+pub mod faults;
 pub mod live;
 pub mod metrics;
 pub mod trace;
 
-pub use des::{ClientLoad, CostModel, DesCluster, ReplyRecord};
+pub use des::{ClientLoad, CostModel, DesCluster, ReplyRecord, UnclaimedReply};
+pub use faults::{CrashWindow, FaultCounts, FaultPlan, FaultState};
 pub use live::{LiveClient, LiveCluster, LiveReply};
 pub use metrics::{latency_percentiles, throughput_series, Percentiles};
 pub use trace::{MsgClass, Trace};

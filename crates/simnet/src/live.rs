@@ -5,22 +5,25 @@
 //! routing, QEG compilation and execution, wire (de)serialization — and is
 //! what the examples and the Fig. 11 micro-benchmarks use.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use irisdns::{AuthoritativeDns, CachingResolver, SiteAddr};
 use irisnet_core::{
-    perform_read, Endpoint, IdPath, Message, OrganizingAgent, Outbound, QueryId,
-    ReadDone, ReadTask, Service,
+    perform_read, CoreError, Endpoint, IdPath, Message, OrganizingAgent, Outbound,
+    QueryId, ReadDone, ReadResult, ReadTask, ReadTaskKind, Service,
 };
 use parking_lot::Mutex;
 
-/// The `(query id, answer XML, ok)` tuples pushed back to clients.
-pub type ReplyTuple = (QueryId, String, bool);
+use crate::faults::{FaultCounts, FaultPlan, FaultState};
+
+/// The `(query id, answer XML, ok, partial)` tuples pushed back to clients.
+pub type ReplyTuple = (QueryId, String, bool, bool);
 
 /// A completed user query, as seen by the posing client.
 #[derive(Debug, Clone)]
@@ -28,6 +31,9 @@ pub struct LiveReply {
     pub qid: QueryId,
     pub answer_xml: String,
     pub ok: bool,
+    /// True if retries were exhausted for part of the queried subtree and
+    /// the answer carries `partial="true"` covering stubs.
+    pub partial: bool,
     pub latency: Duration,
 }
 
@@ -61,24 +67,184 @@ impl WorkQueue {
         self.cv.notify_one();
     }
 
-    fn close(&self) {
+    /// Closes the queue and returns every task that was still queued:
+    /// workers finish only the task they are running. The caller must
+    /// complete the abandoned tasks (with `SiteDown` results) so blocked
+    /// clients get an answer instead of a hang.
+    fn close_abandon(&self) -> Vec<ReadTask> {
         let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
         g.1 = true;
         self.cv.notify_all();
+        g.0.drain(..).collect()
     }
 
-    /// Blocks until a task is available; `None` once closed and drained.
+    /// Blocks until a task is available; `None` once closed. Closure wins
+    /// over queued work — remaining tasks belong to
+    /// [`WorkQueue::close_abandon`]'s caller.
     fn pop(&self) -> Option<ReadTask> {
         let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(t) = g.0.pop_front() {
-                return Some(t);
-            }
             if g.1 {
                 return None;
             }
+            if let Some(t) = g.0.pop_front() {
+                return Some(t);
+            }
             g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
+    }
+}
+
+/// A message parked by the fault layer for late delivery.
+struct Delayed {
+    due: Instant,
+    seq: u64,
+    to: SiteAddr,
+    msg: Message,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The wrapped channel boundary: every site-to-site send consults the
+/// shared [`FaultState`] (same per-link decision streams as the DES), and
+/// delayed/duplicated copies are re-injected by a single delayer thread.
+/// With no plan installed every send passes straight through.
+struct FaultLayer {
+    epoch: Instant,
+    state: StdMutex<Option<FaultState>>,
+    delayed: StdMutex<BinaryHeap<Reverse<Delayed>>>,
+    delayed_cv: Condvar,
+    delayed_seq: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl FaultLayer {
+    fn new(epoch: Instant) -> FaultLayer {
+        FaultLayer {
+            epoch,
+            state: StdMutex::new(None),
+            delayed: StdMutex::new(BinaryHeap::new()),
+            delayed_cv: Condvar::new(),
+            delayed_seq: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    fn park(&self, due: Instant, to: SiteAddr, msg: Message) {
+        let seq = self.delayed_seq.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.delayed.lock().unwrap_or_else(|e| e.into_inner());
+        g.push(Reverse(Delayed { due, seq, to, msg }));
+        self.delayed_cv.notify_one();
+    }
+
+    /// Applies the plan to one site-to-site message; sends the surviving
+    /// copies (possibly via the delayer).
+    fn send_site(
+        &self,
+        from: SiteAddr,
+        to: SiteAddr,
+        msg: Message,
+        senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
+    ) {
+        let decision = {
+            let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            match g.as_mut() {
+                None => None,
+                Some(f) => {
+                    let now = self.epoch.elapsed().as_secs_f64();
+                    if f.site_down(to, now) {
+                        f.counts.crash_drops += 1;
+                        return;
+                    }
+                    Some((f.decide(from, to), f.plan().dup_extra_delay))
+                }
+            }
+        };
+        let direct = |m: Message| {
+            if let Some(tx) = senders.lock().get(&to) {
+                let _ = tx.send(Envelope::Msg(m));
+            }
+        };
+        match decision {
+            None => direct(msg),
+            Some((d, dup_extra)) => {
+                if d.drop {
+                    return;
+                }
+                if d.duplicate {
+                    let due =
+                        Instant::now() + Duration::from_secs_f64(d.extra_delay + dup_extra);
+                    self.park(due, to, msg.clone());
+                }
+                if d.extra_delay > 0.0 {
+                    self.park(Instant::now() + Duration::from_secs_f64(d.extra_delay), to, msg);
+                } else {
+                    direct(msg);
+                }
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _g = self.delayed.lock().unwrap_or_else(|e| e.into_inner());
+        self.delayed_cv.notify_all();
+    }
+}
+
+/// Delivers parked messages when they come due; exits on
+/// [`FaultLayer::close`], dropping anything still parked (the cluster is
+/// going down).
+fn delayer_loop(
+    layer: Arc<FaultLayer>,
+    senders: Arc<Mutex<HashMap<SiteAddr, Sender<Envelope>>>>,
+) {
+    let mut g = layer.delayed.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if layer.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let wait = match g.peek() {
+            None => None,
+            Some(Reverse(d)) => {
+                let now = Instant::now();
+                if d.due <= now {
+                    let Some(Reverse(d)) = g.pop() else { continue };
+                    drop(g);
+                    if let Some(tx) = senders.lock().get(&d.to) {
+                        let _ = tx.send(Envelope::Msg(d.msg));
+                    }
+                    g = layer.delayed.lock().unwrap_or_else(|e| e.into_inner());
+                    continue;
+                }
+                Some(d.due - now)
+            }
+        };
+        g = match wait {
+            None => layer.delayed_cv.wait(g).unwrap_or_else(|e| e.into_inner()),
+            Some(dur) => {
+                layer
+                    .delayed_cv
+                    .wait_timeout(g, dur)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+        };
     }
 }
 
@@ -93,22 +259,60 @@ pub struct LiveCluster {
     next_endpoint: Arc<AtomicU64>,
     next_qid: Arc<AtomicU64>,
     client_resolver: CachingResolver,
+    faults: Arc<FaultLayer>,
+    delayer_join: Option<JoinHandle<()>>,
 }
 
 impl LiveCluster {
     /// Creates an empty cluster for `service`.
     pub fn new(service: Arc<Service>) -> LiveCluster {
+        let epoch = Instant::now();
         LiveCluster {
             service,
             dns: Arc::new(Mutex::new(AuthoritativeDns::new())),
             sites: HashMap::new(),
             senders: Arc::new(Mutex::new(HashMap::new())),
             replies: Arc::new(Mutex::new(HashMap::new())),
-            epoch: Instant::now(),
+            epoch,
             next_endpoint: Arc::new(AtomicU64::new(0)),
             next_qid: Arc::new(AtomicU64::new(1)),
             client_resolver: CachingResolver::new(3600.0),
+            faults: Arc::new(FaultLayer::new(epoch)),
+            delayer_join: None,
         }
+    }
+
+    /// Installs a fault plan: site-to-site sends from now on pass through
+    /// its drop/duplicate/delay/crash decisions (client reply channels stay
+    /// reliable), and the shared DNS adopts the plan's staleness window.
+    /// The same seed yields the same per-link decision streams as the DES
+    /// substrate, though thread interleaving can reorder which message a
+    /// decision lands on.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.dns.lock().set_staleness_window(plan.dns_stale_window);
+        *self.faults.state.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(FaultState::new(plan));
+        if self.delayer_join.is_none() {
+            let layer = self.faults.clone();
+            let senders = self.senders.clone();
+            self.delayer_join = Some(
+                std::thread::Builder::new()
+                    .name("fault-delayer".into())
+                    .spawn(move || delayer_loop(layer, senders))
+                    .expect("spawn delayer thread"),
+            );
+        }
+    }
+
+    /// Observability counters for the active fault plan (zeroes if none).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.faults
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|f| f.counts)
+            .unwrap_or_default()
     }
 
     /// The shared authoritative DNS (for registrations during setup).
@@ -140,10 +344,13 @@ impl LiveCluster {
         let senders = self.senders.clone();
         let replies = self.replies.clone();
         let epoch = self.epoch;
+        let faults = self.faults.clone();
         let self_tx = tx.clone();
         let join = std::thread::Builder::new()
             .name(format!("oa-{}", addr.0))
-            .spawn(move || site_loop(oa, rx, self_tx, dns, senders, replies, epoch, workers))
+            .spawn(move || {
+                site_loop(oa, rx, self_tx, dns, senders, replies, epoch, workers, faults)
+            })
             .expect("spawn site thread");
         self.sites.insert(addr, SiteHandle { tx, join });
     }
@@ -222,16 +429,42 @@ impl LiveCluster {
         (qid, rx)
     }
 
+    /// Stops one site and returns its agent. Its sender is unregistered
+    /// first, so queries routed to it from then on fail fast with
+    /// `SiteDown` instead of blocking; its queued read tasks are drained
+    /// with `SiteDown` completions.
+    pub fn stop_site(&mut self, addr: SiteAddr) -> Option<OrganizingAgent> {
+        let h = self.sites.remove(&addr)?;
+        self.senders.lock().remove(&addr);
+        let _ = h.tx.send(Envelope::Stop);
+        Some(h.join.join().expect("site thread panicked"))
+    }
+
     /// Stops all site threads and returns the agents (with their stats).
+    /// Senders are unregistered up front: clients that race the shutdown
+    /// get immediate `SiteDown` failures, and every query already queued
+    /// inside a site is answered (possibly with a `SiteDown` error) before
+    /// its thread exits — nothing blocks forever.
     pub fn shutdown(mut self) -> Vec<OrganizingAgent> {
+        {
+            let mut s = self.senders.lock();
+            for addr in self.sites.keys() {
+                s.remove(addr);
+            }
+        }
         let handles: Vec<SiteHandle> = self.sites.drain().map(|(_, h)| h).collect();
         for h in &handles {
             let _ = h.tx.send(Envelope::Stop);
         }
-        handles
+        let agents = handles
             .into_iter()
             .map(|h| h.join.join().expect("site thread panicked"))
-            .collect()
+            .collect();
+        self.faults.close();
+        if let Some(j) = self.delayer_join.take() {
+            let _ = j.join();
+        }
+        agents
     }
 }
 
@@ -297,41 +530,90 @@ fn pose_at(
     let (rtx, rrx) = unbounded();
     replies.lock().insert(endpoint, rtx);
     let posed = Instant::now();
-    if let Some(tx) = senders.lock().get(&target) {
-        let _ = tx.send(Envelope::Msg(Message::UserQuery {
+    let sent = senders
+        .lock()
+        .get(&target)
+        .map(|tx| {
+            tx.send(Envelope::Msg(Message::UserQuery {
+                qid,
+                text: text.to_string(),
+                endpoint,
+            }))
+            .is_ok()
+        })
+        .unwrap_or(false);
+    if !sent {
+        // The target site is gone (stopped or shut down): fail fast
+        // instead of waiting out the timeout on a reply that cannot come.
+        replies.lock().remove(&endpoint);
+        return Some(LiveReply {
             qid,
-            text: text.to_string(),
-            endpoint,
-        }));
+            answer_xml: format!("<error>{}</error>", CoreError::SiteDown),
+            ok: false,
+            partial: true,
+            latency: posed.elapsed(),
+        });
     }
     let got = rrx.recv_timeout(timeout).ok();
     replies.lock().remove(&endpoint);
-    got.map(|(qid, answer_xml, ok)| LiveReply {
+    got.map(|(qid, answer_xml, ok, partial)| LiveReply {
         qid,
         answer_xml,
         ok,
+        partial,
         latency: posed.elapsed(),
     })
 }
 
 fn route_all(
+    from: SiteAddr,
     outs: Vec<Outbound>,
     senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
     replies: &Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>,
+    faults: &FaultLayer,
 ) {
     for o in outs {
         match o {
-            Outbound::Send { to, msg } => {
-                if let Some(tx) = senders.lock().get(&to) {
-                    let _ = tx.send(Envelope::Msg(msg));
-                }
-            }
-            Outbound::ReplyUser { endpoint, qid, answer_xml, ok } => {
+            Outbound::Send { to, msg } => faults.send_site(from, to, msg, senders),
+            Outbound::ReplyUser { endpoint, qid, answer_xml, ok, partial } => {
                 if let Some(tx) = replies.lock().get(&endpoint) {
-                    let _ = tx.send((qid, answer_xml, ok));
+                    let _ = tx.send((qid, answer_xml, ok, partial));
                 }
             }
         }
+    }
+}
+
+/// Synthesizes the completion record of a read task abandoned at shutdown:
+/// a `SiteDown` error for user finalizes, an empty partial fragment for
+/// site finalizes, an exec error otherwise. Feeding these through
+/// [`OrganizingAgent::complete_read`] reuses the normal reply routing.
+fn site_down_done(task: &ReadTask) -> ReadDone {
+    let result = match &task.kind {
+        ReadTaskKind::FinalizeUser { endpoint, qid, .. } => ReadResult::UserAnswer {
+            endpoint: *endpoint,
+            qid: *qid,
+            answer_xml: format!("<error>{}</error>", CoreError::SiteDown),
+            ok: false,
+            partial: true,
+        },
+        ReadTaskKind::FinalizeSite { addr, qid, .. } => ReadResult::Fragment {
+            addr: *addr,
+            qid: *qid,
+            fragment_xml: String::new(),
+            partial: true,
+        },
+        ReadTaskKind::Execute { .. } => ReadResult::ExecError {
+            error_xml: format!("<error>{}</error>", CoreError::SiteDown),
+        },
+    };
+    ReadDone {
+        pid: task.pid,
+        result,
+        time_create: 0.0,
+        time_exec: 0.0,
+        time_extract: 0.0,
+        time_comm: 0.0,
     }
 }
 
@@ -345,7 +627,9 @@ fn site_loop(
     replies: Arc<Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>>,
     epoch: Instant,
     workers: usize,
+    faults: Arc<FaultLayer>,
 ) -> OrganizingAgent {
+    let my_addr = oa.addr;
     let queue = Arc::new(WorkQueue::new());
     let mut worker_joins = Vec::with_capacity(workers);
     for i in 0..workers {
@@ -354,7 +638,7 @@ fn site_loop(
         let qeg = oa.qeg();
         let tx = self_tx.clone();
         let join = std::thread::Builder::new()
-            .name(format!("oa-{}-w{}", oa.addr.0, i))
+            .name(format!("oa-{}-w{}", my_addr.0, i))
             .spawn(move || {
                 while let Some(task) = q.pop() {
                     let done = {
@@ -371,7 +655,31 @@ fn site_loop(
     }
     drop(self_tx);
 
-    while let Ok(env) = rx.recv() {
+    loop {
+        // With retries armed, sleep only until the next ask deadline and
+        // run the agent's tick on expiry; otherwise block indefinitely.
+        let env = match oa.next_deadline() {
+            None => match rx.recv() {
+                Ok(e) => e,
+                Err(_) => break,
+            },
+            Some(deadline) => {
+                let wait = (deadline - epoch.elapsed().as_secs_f64()).clamp(0.0, 3600.0);
+                match rx.recv_timeout(Duration::from_secs_f64(wait)) {
+                    Ok(e) => e,
+                    Err(RecvTimeoutError::Timeout) => {
+                        let now = epoch.elapsed().as_secs_f64();
+                        let outs = {
+                            let mut dns = dns.lock();
+                            oa.tick(&mut dns, now)
+                        };
+                        route_all(my_addr, outs, &senders, &replies, &faults);
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
         let now = epoch.elapsed().as_secs_f64();
         match env {
             Envelope::Msg(m) if workers == 0 => {
@@ -380,14 +688,14 @@ fn site_loop(
                     let mut dns = dns.lock();
                     oa.handle(m, &mut dns, now)
                 };
-                route_all(outs, &senders, &replies);
+                route_all(my_addr, outs, &senders, &replies, &faults);
             }
             Envelope::Msg(m) => {
                 let oc = {
                     let mut dns = dns.lock();
                     oa.handle_split(m, &mut dns, now)
                 };
-                route_all(oc.out, &senders, &replies);
+                route_all(my_addr, oc.out, &senders, &replies, &faults);
                 for t in oc.tasks {
                     queue.push(t);
                 }
@@ -397,46 +705,51 @@ fn site_loop(
                     let mut dns = dns.lock();
                     oa.complete_read(d, &mut dns, now)
                 };
-                route_all(oc.out, &senders, &replies);
+                route_all(my_addr, oc.out, &senders, &replies, &faults);
                 for t in oc.tasks {
                     queue.push(t);
                 }
             }
             Envelope::Stop => {
-                // Let in-flight reads finish, then apply their completions
-                // (and any follow-up tasks, inline) before exiting so no
-                // query is silently dropped at shutdown.
-                queue.close();
+                // Stop workers after their in-flight task, then complete
+                // everything still queued or pending with `SiteDown`
+                // results so no client is left blocking on this site.
+                let abandoned = queue.close_abandon();
                 for j in worker_joins.drain(..) {
                     let _ = j.join();
                 }
+                let mut dones: VecDeque<ReadDone> = VecDeque::new();
                 while let Ok(env2) = rx.try_recv() {
-                    let Envelope::Done(d) = env2 else { continue };
-                    let now = epoch.elapsed().as_secs_f64();
+                    if let Envelope::Done(d) = env2 {
+                        dones.push_back(d);
+                    }
+                }
+                dones.extend(abandoned.iter().map(site_down_done));
+                let now = epoch.elapsed().as_secs_f64();
+                while let Some(d) = dones.pop_front() {
                     let oc = {
                         let mut dns = dns.lock();
                         oa.complete_read(d, &mut dns, now)
                     };
-                    route_all(oc.out, &senders, &replies);
-                    let mut tasks: VecDeque<ReadTask> = oc.tasks.into();
-                    while let Some(t) = tasks.pop_front() {
+                    route_all(my_addr, oc.out, &senders, &replies, &faults);
+                    // Follow-up tasks run inline (workers are gone).
+                    for t in oc.tasks {
                         let done = {
                             let db = oa.db();
                             perform_read(&t, &oa.qeg(), &db)
                         };
-                        let oc2 = {
-                            let mut dns = dns.lock();
-                            oa.complete_read(done, &mut dns, now)
-                        };
-                        route_all(oc2.out, &senders, &replies);
-                        tasks.extend(oc2.tasks);
+                        dones.push_back(done);
                     }
                 }
+                // Queries still gathering remote answers can never finish:
+                // fail them out loud.
+                let outs = oa.fail_pending();
+                route_all(my_addr, outs, &senders, &replies, &faults);
                 break;
             }
         }
     }
-    queue.close();
+    queue.close_abandon();
     for j in worker_joins {
         let _ = j.join();
     }

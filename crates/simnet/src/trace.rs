@@ -188,7 +188,7 @@ mod tests {
                 MsgClass::SubQuery,
             ),
             (
-                M::SubAnswer { qid: 1, fragment_xml: String::new() },
+                M::SubAnswer { qid: 1, fragment_xml: String::new(), partial: false },
                 MsgClass::SubAnswer,
             ),
             (msg_update(), MsgClass::Update),

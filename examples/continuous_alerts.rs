@@ -53,7 +53,7 @@ fn main() {
               /city[@id='Pittsburgh']/neighborhood[@id='Oakland']\
               /block[@id='1']/parkingSpace[available='yes']";
     let (qid, feed) = cluster.subscribe(SiteAddr(1), cq);
-    let (_, snapshot, _) = feed.recv_timeout(Duration::from_secs(5)).expect("snapshot");
+    let (_, snapshot, _, _) = feed.recv_timeout(Duration::from_secs(5)).expect("snapshot");
     println!("initial snapshot: {snapshot}");
 
     // The street changes: spaces free up and fill again.
@@ -83,7 +83,7 @@ fn main() {
 
     // Five of the six updates change the answer → five pushes.
     for i in 1..=5 {
-        let (_, xml, ok) = feed.recv_timeout(Duration::from_secs(5)).expect("push");
+        let (_, xml, ok, _) = feed.recv_timeout(Duration::from_secs(5)).expect("push");
         assert!(ok);
         println!("push {i}: {xml}");
     }

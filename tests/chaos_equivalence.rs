@@ -1,0 +1,191 @@
+//! Chaos equivalence: masked faults must be invisible.
+//!
+//! For random seeds, a DES run under `FaultPlan::masked_from_seed` —
+//! per-link drops, duplicates and delays, but no crashes — with ask-level
+//! retries enabled must produce canonical answers byte-identical to the
+//! zero-fault run of the same workload. Every fault decision is a pure
+//! function of the seed, so any failure replays exactly: the assertion
+//! message carries the seed and the full plan.
+
+use irisdns::SiteAddr;
+use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{
+    CacheMode, Endpoint, Message, OaConfig, OrganizingAgent, RetryPolicy, Status,
+};
+use proptest::prelude::*;
+use simnet::{CostModel, DesCluster, FaultPlan};
+
+fn params() -> DbParams {
+    DbParams {
+        cities: 1,
+        neighborhoods_per_city: 2,
+        blocks_per_neighborhood: 3,
+        spaces_per_block: 3,
+    }
+}
+
+/// Caching off so every cross-site query re-asks the remote owner (more
+/// traffic for the fault plan to chew on); a generous retry budget so a
+/// ≤25 % drop rate cannot plausibly exhaust an ask.
+fn config() -> OaConfig {
+    OaConfig {
+        cache: CacheMode::Off,
+        retry: RetryPolicy::bounded(0.5, 10),
+        ..OaConfig::default()
+    }
+}
+
+/// A deterministic t1/t3 mix; the t3 queries span both neighborhoods and
+/// therefore cross the faulted site-1 ↔ site-2 link every time.
+fn query_mix(db: &ParkingDb) -> Vec<String> {
+    let mut t1 = Workload::uniform(db, QueryType::T1, 7);
+    let mut t3 = Workload::uniform(db, QueryType::T3, 11);
+    (0..12)
+        .map(|i| if i % 3 == 0 { t3.next_query() } else { t1.next_query() })
+        .collect()
+}
+
+/// Site 1 owns the region except neighborhood (0,1), owned by site 2.
+fn make_agents(db: &ParkingDb) -> (OrganizingAgent, OrganizingAgent) {
+    let svc = db.service.clone();
+    let oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), config());
+    oa1.db_mut().bootstrap_owned(&db.master, &db.root_path(), true).unwrap();
+    let carved = db.neighborhood_path(0, 1);
+    oa1.db_mut().set_status_subtree(&carved, Status::Complete).unwrap();
+    oa1.db_mut().evict(&carved).unwrap();
+    let oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), config());
+    oa2.db_mut().bootstrap_owned(&db.master, &carved, true).unwrap();
+    (oa1, oa2)
+}
+
+fn canon(xml: &str) -> String {
+    let doc = sensorxml::parse(xml).expect("answer parses");
+    sensorxml::canonical_string(&doc, doc.root().unwrap())
+}
+
+/// One DES run; returns `(endpoint, canonical answer, ok, partial)` per
+/// query, ordered by endpoint (= injection order).
+fn run(db: &ParkingDb, plan: Option<FaultPlan>) -> Vec<(u64, String, bool, bool)> {
+    let mut sim = DesCluster::new(CostModel::default());
+    let (oa1, oa2) = make_agents(db);
+    let svc = db.service.clone();
+    sim.dns.register(&svc.dns_name(&db.root_path()), SiteAddr(1));
+    sim.dns
+        .register(&svc.dns_name(&db.neighborhood_path(0, 1)), SiteAddr(2));
+    sim.add_site(oa1);
+    sim.add_site(oa2);
+    if let Some(p) = plan {
+        sim.set_fault_plan(p);
+    }
+    let queries = query_mix(db);
+    for (i, q) in queries.iter().enumerate() {
+        sim.schedule_message(
+            i as f64 * 50.0,
+            SiteAddr(1),
+            Message::UserQuery {
+                qid: i as u64 + 1,
+                text: q.clone(),
+                endpoint: Endpoint(10_000 + i as u64),
+            },
+        );
+    }
+    // Generous tail: the worst retry chain (10 resends, 4 s cap) plus the
+    // longest injected delay still completes well inside it.
+    sim.run_until(queries.len() as f64 * 50.0 + 300.0);
+    let mut replies = sim.take_unclaimed_detailed();
+    replies.sort_by_key(|r| r.endpoint.0);
+    replies
+        .into_iter()
+        .map(|r| (r.endpoint.0, canon(&r.answer_xml), r.ok, r.partial))
+        .collect()
+}
+
+/// Guards against the property above passing vacuously: under a plan with
+/// forced drop/dup/delay rates the run must actually drop, duplicate and
+/// delay messages — and the retry machinery must visibly fire — while the
+/// answers still match the fault-free baseline.
+#[test]
+fn faults_and_retries_actually_fire() {
+    let db = ParkingDb::generate(params(), 42);
+    let baseline = run(&db, None);
+    let plan = FaultPlan {
+        drop_prob: 0.2,
+        dup_prob: 0.2,
+        delay_prob: 0.3,
+        max_extra_delay: 1.5,
+        ..FaultPlan::masked_from_seed(77)
+    };
+
+    let mut sim = DesCluster::new(CostModel::default());
+    let (oa1, oa2) = make_agents(&db);
+    let svc = db.service.clone();
+    sim.dns.register(&svc.dns_name(&db.root_path()), SiteAddr(1));
+    sim.dns
+        .register(&svc.dns_name(&db.neighborhood_path(0, 1)), SiteAddr(2));
+    sim.add_site(oa1);
+    sim.add_site(oa2);
+    sim.set_fault_plan(plan);
+    let queries = query_mix(&db);
+    for (i, q) in queries.iter().enumerate() {
+        sim.schedule_message(
+            i as f64 * 50.0,
+            SiteAddr(1),
+            Message::UserQuery {
+                qid: i as u64 + 1,
+                text: q.clone(),
+                endpoint: Endpoint(10_000 + i as u64),
+            },
+        );
+    }
+    sim.run_until(queries.len() as f64 * 50.0 + 300.0);
+
+    let counts = sim.fault_counts();
+    assert!(counts.dropped > 0, "no drops injected: {counts:?}");
+    assert!(counts.duplicated > 0, "no duplicates injected: {counts:?}");
+    assert!(counts.delayed > 0, "no delays injected: {counts:?}");
+    let retries = sim.site(SiteAddr(1)).unwrap().stats.retries_sent;
+    assert!(retries > 0, "drops never triggered a retry");
+    assert_eq!(sim.site(SiteAddr(1)).unwrap().stats.asks_abandoned, 0);
+
+    let mut replies = sim.take_unclaimed_detailed();
+    replies.sort_by_key(|r| r.endpoint.0);
+    let got: Vec<(u64, String, bool, bool)> = replies
+        .into_iter()
+        .map(|r| (r.endpoint.0, canon(&r.answer_xml), r.ok, r.partial))
+        .collect();
+    assert_eq!(got, baseline, "masked faults changed an answer");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn masked_faults_are_invisible(seed in 0u64..u64::MAX) {
+        let db = ParkingDb::generate(params(), 42);
+        let baseline = run(&db, None);
+        prop_assert_eq!(baseline.len(), 12, "baseline run dropped replies");
+        for (ep, _, ok, partial) in &baseline {
+            prop_assert!(*ok && !partial, "baseline not exact at endpoint {}", ep);
+        }
+
+        let plan = FaultPlan::masked_from_seed(seed);
+        let faulted = run(&db, Some(plan.clone()));
+        prop_assert_eq!(
+            faulted.len(),
+            baseline.len(),
+            "seed {seed}: reply count diverged under {plan:?}"
+        );
+        for (b, f) in baseline.iter().zip(faulted.iter()) {
+            prop_assert!(
+                f.2 && !f.3,
+                "seed {}: endpoint {} not exact (ok={}, partial={}) under {:?}",
+                seed, f.0, f.2, f.3, plan
+            );
+            prop_assert_eq!(
+                b, f,
+                "seed {}: answer diverged under {:?}",
+                seed, plan
+            );
+        }
+    }
+}

@@ -4,8 +4,8 @@
 //! queries, every answer well-formed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use irisdns::SiteAddr;
 use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
@@ -159,4 +159,102 @@ fn concurrent_clients_updates_and_migrations() {
         .filter(|a| a.db().status_at(&block) == Some(irisnet_core::Status::Owned))
         .count();
     assert_eq!(owners, 1, "exactly one owner after migration storm");
+}
+
+/// Shutdown must never strand a client. Worker-pooled sites are torn down
+/// while clients are mid-stream: every `pose_query` — before, during, or
+/// after the teardown — must return promptly with either a real answer or
+/// a `SiteDown` error. The regression this guards: `shutdown()` used to
+/// close the read-worker queue without completing the tasks already queued
+/// on it, leaving the posing client blocked until its full timeout.
+#[test]
+fn shutdown_races_clients_without_stranding_them() {
+    let db = Arc::new(ParkingDb::generate(
+        DbParams { cities: 1, neighborhoods_per_city: 2, blocks_per_neighborhood: 3, spaces_per_block: 3 },
+        7,
+    ));
+    let svc = db.service.clone();
+    let mut cluster = LiveCluster::new(svc.clone());
+
+    let top = OrganizingAgent::new(SiteAddr(1), svc.clone(), OaConfig::default());
+    top.db_mut().bootstrap_owned(&db.master, &db.root_path(), false).unwrap();
+    top.db_mut().bootstrap_owned(&db.master, &db.city_path(0), false).unwrap();
+    cluster.register_owner(&db.root_path(), SiteAddr(1));
+    cluster.add_site_with_workers(top, 2);
+    for ni in 0..db.params.neighborhoods_per_city {
+        let addr = SiteAddr(2 + ni as u32);
+        let a = OrganizingAgent::new(addr, svc.clone(), OaConfig::default());
+        a.db_mut().bootstrap_owned(&db.master, &db.neighborhood_path(0, ni), true).unwrap();
+        cluster.register_owner(&db.neighborhood_path(0, ni), addr);
+        cluster.add_site_with_workers(a, 2);
+    }
+
+    const CLIENTS: u64 = 4;
+    // Rendezvous: all clients finish a warm-up batch, then the main thread
+    // tears the cluster down while they keep posing.
+    let barrier = Arc::new(Barrier::new(CLIENTS as usize + 1));
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let mut client = cluster.client();
+        let cdb = db.clone();
+        let b = barrier.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut w = Workload::qw_mix(&cdb, 500 + c);
+            // Warm-up: the cluster is fully up; everything must succeed.
+            for _ in 0..5 {
+                let r = client
+                    .pose_query(&w.next_query_of(QueryType::T3), Duration::from_secs(20))
+                    .expect("pre-shutdown query hung");
+                assert!(r.ok, "pre-shutdown query failed: {}", r.answer_xml);
+            }
+            b.wait();
+            // Race the teardown. Answers may be real, partial, or SiteDown
+            // errors — but every one must arrive well inside the timeout.
+            let mut ok = 0u64;
+            let mut down = 0u64;
+            for i in 0..30 {
+                let q = if i % 2 == 0 {
+                    w.next_query_of(QueryType::T3)
+                } else {
+                    w.next_query()
+                };
+                let start = Instant::now();
+                let r = client
+                    .pose_query(&q, Duration::from_secs(30))
+                    .expect("query stranded by shutdown");
+                assert!(
+                    start.elapsed() < Duration::from_secs(25),
+                    "reply only arrived near the timeout: not a prompt failure"
+                );
+                if r.ok {
+                    let doc = sensorxml::parse(&r.answer_xml).expect("answer parses");
+                    assert_eq!(doc.name(doc.root().unwrap()), "result");
+                    ok += 1;
+                } else {
+                    assert!(
+                        r.answer_xml.contains("site down"),
+                        "unexpected failure shape: {}",
+                        r.answer_xml
+                    );
+                    down += 1;
+                }
+            }
+            (ok, down)
+        }));
+    }
+
+    barrier.wait();
+    let _agents = cluster.shutdown();
+
+    let mut total_ok = 0;
+    let mut total_down = 0;
+    for h in handles {
+        let (ok, down) = h.join().unwrap();
+        total_ok += ok;
+        total_down += down;
+    }
+    assert_eq!(total_ok + total_down, CLIENTS * 30);
+    // The cluster is gone by the time the dust settles, so the tail of
+    // every client's stream must have hit the fail-fast path.
+    assert!(total_down > 0, "no query ever observed the shutdown");
 }
