@@ -26,6 +26,7 @@ pub mod eviction;
 pub mod fragment;
 pub mod idable;
 pub mod migration;
+pub mod obs;
 pub mod qeg;
 pub mod routing;
 pub mod schema_change;
@@ -41,6 +42,7 @@ pub use error::{CoreError, CoreResult};
 pub use eviction::{CacheManager, EvictionPolicy};
 pub use fragment::{FragmentStats, SiteDatabase, Status};
 pub use idable::IdPath;
+pub use obs::ObsPlane;
 pub use qeg::{QegFactory, QegOutcome, XsltCreation};
 pub use routing::lca_dns_name;
 pub use service::{Schema, Service};

@@ -15,6 +15,7 @@
 //! appear atomic.
 
 use irisdns::{AuthoritativeDns, SiteAddr};
+use irisobs::SpanKind;
 
 use crate::agent::{HandleOutcome, Message, OrganizingAgent, Outbound};
 use crate::fragment::Status;
@@ -27,7 +28,7 @@ impl OrganizingAgent {
         &mut self,
         path: IdPath,
         to: SiteAddr,
-        _now: f64,
+        now: f64,
         out: &mut Vec<Outbound>,
     ) {
         if to == self.addr {
@@ -45,6 +46,7 @@ impl OrganizingAgent {
                 .map(|r| sensorxml::serialize(&frag, r))
                 .unwrap_or_default()
         };
+        self.record_migration(SpanKind::MigrateOut, &path, to.0, now);
         self.hold_set().insert(path.clone());
         out.push(Outbound::Send {
             to,
@@ -82,6 +84,7 @@ impl OrganizingAgent {
         // (tolerated via that owner's forwarding entry).
         let name = self.service.dns_name(&path);
         dns.register_at(&name, self.addr, now);
+        self.record_migration(SpanKind::MigrateIn, &path, from.0, now);
         out.push(Outbound::Send {
             to: from,
             msg: Message::TakeAck { path, new_owner: self.addr },
@@ -100,6 +103,7 @@ impl OrganizingAgent {
     ) {
         let _ = self.db_mut().set_status_subtree(&path, Status::Complete);
         self.hold_set().remove(&path);
+        self.record_migration(SpanKind::MigrateAck, &path, new_owner.0, now);
         self.forward_map().insert(path, new_owner);
         self.release_held(dns, now, oc);
     }

@@ -1,0 +1,51 @@
+//! The agent-side handle to the observability plane.
+//!
+//! [`ObsPlane`] wraps an `Arc<dyn Recorder>` and caches `enabled()` once,
+//! so every instrumentation site in the agent guards on a plain `bool`
+//! field — with the default no-op recorder the whole tracing layer costs
+//! one predictable branch per message, which is the budget the release
+//! overhead guard enforces.
+
+use std::sync::Arc;
+
+use irisobs::{Link, NoopRecorder, Recorder, Registry, SpanRecord, SpanKind};
+
+#[derive(Debug, Clone)]
+pub struct ObsPlane {
+    rec: Arc<dyn Recorder>,
+    /// Cached `rec.enabled()`. Instrumentation sites check this field and
+    /// skip all span construction when false.
+    pub on: bool,
+}
+
+impl ObsPlane {
+    /// The zero-cost default.
+    pub fn noop() -> ObsPlane {
+        ObsPlane { rec: Arc::new(NoopRecorder), on: false }
+    }
+
+    pub fn new(rec: Arc<dyn Recorder>) -> ObsPlane {
+        let on = rec.enabled();
+        ObsPlane { rec, on }
+    }
+
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.rec
+    }
+
+    pub fn registry(&self) -> Option<&Registry> {
+        self.rec.registry()
+    }
+
+    /// Allocates a span with a fresh id. Callers fill the optional fields
+    /// and hand it back through [`ObsPlane::record`].
+    #[inline]
+    pub fn span(&self, link: Link, site: u32, kind: SpanKind, t0: f64) -> SpanRecord {
+        SpanRecord::new(self.rec.next_span_id(), link, site, kind, t0)
+    }
+
+    #[inline]
+    pub fn record(&self, span: SpanRecord) {
+        self.rec.record_span(span);
+    }
+}

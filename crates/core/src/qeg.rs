@@ -26,9 +26,9 @@
 //! partial-match caching and answer assembly one mechanism.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use irisobs::Counter;
 use parking_lot::Mutex;
 use sensorxml::Document;
 use sensorxpath::analysis::{split_step_predicates, SplitPredicates};
@@ -276,7 +276,8 @@ pub enum AskKind {
 }
 
 impl AskKind {
-    fn as_str(self) -> &'static str {
+    /// Stable label, used in subquery wire text and span details.
+    pub fn as_str(self) -> &'static str {
         match self {
             AskKind::Query => "query",
             AskKind::Stale => "stale",
@@ -604,10 +605,13 @@ pub struct QegFactory {
     pub service: Arc<Service>,
     creation: XsltCreation,
     skeletons: Mutex<SkeletonCache>,
-    created: AtomicU64,
-    skeleton_hits: AtomicU64,
-    skeleton_misses: AtomicU64,
-    skeleton_evictions: AtomicU64,
+    // Counters are `Arc<irisobs::Counter>` so the observability plane can
+    // adopt the *same storage* as named series (no double counting, no
+    // second update on the hot path).
+    created: Arc<Counter>,
+    skeleton_hits: Arc<Counter>,
+    skeleton_misses: Arc<Counter>,
+    skeleton_evictions: Arc<Counter>,
 }
 
 impl QegFactory {
@@ -617,11 +621,22 @@ impl QegFactory {
             service,
             creation,
             skeletons: Mutex::new(SkeletonCache::default()),
-            created: AtomicU64::new(0),
-            skeleton_hits: AtomicU64::new(0),
-            skeleton_misses: AtomicU64::new(0),
-            skeleton_evictions: AtomicU64::new(0),
+            created: Arc::new(Counter::new()),
+            skeleton_hits: Arc::new(Counter::new()),
+            skeleton_misses: Arc::new(Counter::new()),
+            skeleton_evictions: Arc::new(Counter::new()),
         }
+    }
+
+    /// The factory's counters as `(series name, shared storage)` pairs, for
+    /// adoption into a metrics registry.
+    pub fn counter_handles(&self) -> [(&'static str, Arc<Counter>); 4] {
+        [
+            ("qeg.created", self.created.clone()),
+            ("qeg.skeleton_hits", self.skeleton_hits.clone()),
+            ("qeg.skeleton_misses", self.skeleton_misses.clone()),
+            ("qeg.skeleton_evictions", self.skeleton_evictions.clone()),
+        ]
     }
 
     /// The active creation strategy.
@@ -631,22 +646,22 @@ impl QegFactory {
 
     /// Programs created (both strategies).
     pub fn created(&self) -> u64 {
-        self.created.load(Ordering::Relaxed)
+        self.created.get()
     }
 
     /// Fast-path skeleton cache hits.
     pub fn skeleton_hits(&self) -> u64 {
-        self.skeleton_hits.load(Ordering::Relaxed)
+        self.skeleton_hits.get()
     }
 
     /// Fast-path skeleton cache misses (shape not cached; full compile).
     pub fn skeleton_misses(&self) -> u64 {
-        self.skeleton_misses.load(Ordering::Relaxed)
+        self.skeleton_misses.get()
     }
 
     /// Skeletons dropped by the LRU bound ([`SKELETON_CACHE_CAP`]).
     pub fn skeleton_evictions(&self) -> u64 {
-        self.skeleton_evictions.load(Ordering::Relaxed)
+        self.skeleton_evictions.get()
     }
 
     /// Distinct shapes currently cached (≤ [`SKELETON_CACHE_CAP`]).
@@ -668,7 +683,7 @@ impl QegFactory {
         plan: &QueryPlan,
         ignore_complete: bool,
     ) -> CoreResult<QegProgram> {
-        self.created.fetch_add(1, Ordering::Relaxed);
+        self.created.inc();
         match self.creation {
             XsltCreation::Naive => {
                 // Full round trip through stylesheet *text*, like the
@@ -692,11 +707,11 @@ impl QegFactory {
                     })
                 };
                 if let Some((mut compiled, updates, start_mode)) = hit {
-                    self.skeleton_hits.fetch_add(1, Ordering::Relaxed);
+                    self.skeleton_hits.inc();
                     compiled.patch_slots(&updates)?;
                     return Ok(QegProgram { compiled, start_mode });
                 }
-                self.skeleton_misses.fetch_add(1, Ordering::Relaxed);
+                self.skeleton_misses.inc();
                 // Compile outside the lock; a racing worker compiling the
                 // same shape just overwrites with an identical skeleton.
                 let (sheet, slots, start_mode) = generate_stylesheet(plan, ignore_complete);
@@ -716,7 +731,7 @@ impl QegFactory {
                     cache.enforce_cap(SKELETON_CACHE_CAP)
                 };
                 if evicted > 0 {
-                    self.skeleton_evictions.fetch_add(evicted, Ordering::Relaxed);
+                    self.skeleton_evictions.add(evicted);
                 }
                 Ok(QegProgram { compiled, start_mode })
             }

@@ -1,0 +1,552 @@
+//! Trace assembly, structural invariants, and the `query explain` report.
+//!
+//! Spans arrive as a flat stream (possibly from a JSONL dump); this module
+//! stitches them into per-query trees, checks the well-formedness
+//! invariants the proptest suite enforces across chaos seeds, and renders
+//! two views: a human-oriented explain report (sites touched, hops, cache
+//! outcomes per §3.2, consistency rejections per §3.3, retries, partial
+//! stubs, QEG phase timings) and a *structure digest* — a timing- and
+//! id-free canonical rendering that must be byte-identical between a DES
+//! run and a live run of the same workload.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+use crate::span::{CacheOutcome, Link, Phases, SpanKind, SpanRecord};
+
+/// Clock slack for the parent-precedes-child check: live timestamps are
+/// captured outside any lock, so an exactly-equal or epsilon-reversed pair
+/// on one site is legal; a *materially* earlier child is not.
+const CAUSAL_EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    pub span: SpanRecord,
+    /// Child indices into the owning tree's `nodes`, in record order.
+    pub children: Vec<usize>,
+}
+
+/// One assembled trace tree; the root is `nodes[0]`.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    pub nodes: Vec<TraceNode>,
+}
+
+impl TraceTree {
+    pub fn root(&self) -> &TraceNode {
+        &self.nodes[0]
+    }
+
+    /// The `(endpoint, qid)` key if this is a query tree.
+    pub fn query_key(&self) -> Option<(u64, u64)> {
+        match self.root().span.link {
+            Link::Root { endpoint, qid } => Some((endpoint, qid)),
+            _ => None,
+        }
+    }
+}
+
+/// All trees assembled from a span stream: one per user query, one per
+/// ownership transfer.
+#[derive(Debug, Clone, Default)]
+pub struct Forest {
+    pub queries: Vec<TraceTree>,
+    pub transfers: Vec<TraceTree>,
+}
+
+/// Stitches a flat span stream into trees.
+///
+/// Spans are consumed in *record order*: the recorder serializes appends,
+/// and every causal edge is recorded cause-first (the ask span before the
+/// remote sub-query span it triggers), so a parent that hasn't appeared by
+/// the time its child does is a genuine orphan, not an ordering artifact.
+/// Timestamps are checked separately by [`check_well_formed`].
+///
+/// Parent resolution:
+/// - `Root{ep,qid}`: the first span for a key roots a query tree; later
+///   spans claiming the same key (forward hop, fault-duplicated delivery)
+///   chain beneath the previous claimant.
+/// - `ChildOf{parent}`: same-site edge by span id.
+/// - `Ask{asker, sub_qid}`: cross-site edge to the `Ask`-kind span at
+///   `asker` whose correlation id is `sub_qid`.
+/// - `Transfer{path}`: a `MigrateOut` roots a transfer tree; subsequent
+///   spans for the path chain beneath the latest span on that path.
+///
+/// Errors on any span whose parent cannot be resolved (an orphan) and on
+/// duplicate span ids — these are the invariants; [`check_well_formed`]
+/// adds the ordering checks on top.
+pub fn assemble(spans: &[SpanRecord]) -> Result<Forest, String> {
+    let mut id_map: HashMap<u64, usize> = HashMap::with_capacity(spans.len());
+    let mut ask_map: HashMap<(u32, u64), usize> = HashMap::new();
+    let mut root_last: HashMap<(u64, u64), usize> = HashMap::new();
+    let mut xfer_last: HashMap<&str, usize> = HashMap::new();
+    // parent[i] = global index of parent, or usize::MAX for a root.
+    let mut parent = vec![usize::MAX; spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+
+    for (i, s) in spans.iter().enumerate() {
+        if s.id == 0 || id_map.insert(s.id, i).is_some() {
+            return Err(format!("duplicate or zero span id {}", s.id));
+        }
+        match &s.link {
+            Link::Root { endpoint, qid } => match root_last.get(&(*endpoint, *qid)) {
+                Some(&prev) => {
+                    parent[i] = prev;
+                    root_last.insert((*endpoint, *qid), i);
+                }
+                None => {
+                    roots.push(i);
+                    root_last.insert((*endpoint, *qid), i);
+                }
+            },
+            Link::ChildOf { parent: pid } => match id_map.get(pid) {
+                Some(&p) => parent[i] = p,
+                None => {
+                    return Err(format!(
+                        "orphan span {}: ChildOf({pid}) not yet recorded",
+                        s.id
+                    ))
+                }
+            },
+            Link::Ask { asker, sub_qid } => match ask_map.get(&(*asker, *sub_qid)) {
+                Some(&p) => parent[i] = p,
+                None => {
+                    return Err(format!(
+                        "orphan span {}: no Ask span at site {asker} with sub_qid {sub_qid}",
+                        s.id
+                    ))
+                }
+            },
+            Link::Transfer { path } => match xfer_last.get(path.as_str()) {
+                Some(&prev) => {
+                    parent[i] = prev;
+                    xfer_last.insert(path, i);
+                }
+                None if s.kind == SpanKind::MigrateOut => {
+                    roots.push(i);
+                    xfer_last.insert(path, i);
+                }
+                None => {
+                    return Err(format!(
+                        "orphan span {}: transfer {path:?} has no MigrateOut root",
+                        s.id
+                    ))
+                }
+            },
+        }
+        if s.kind == SpanKind::Ask && s.corr != 0 {
+            ask_map.insert((s.site, s.corr), i);
+        }
+    }
+
+    // Children in record order.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    for (i, &p) in parent.iter().enumerate() {
+        if p != usize::MAX {
+            children[p].push(i);
+        }
+    }
+
+    let mut forest = Forest::default();
+    for &r in &roots {
+        let mut tree = TraceTree { nodes: Vec::new() };
+        copy_subtree(spans, &children, r, &mut tree);
+        match tree.root().span.link {
+            Link::Root { .. } => forest.queries.push(tree),
+            _ => forest.transfers.push(tree),
+        }
+    }
+    Ok(forest)
+}
+
+fn copy_subtree(
+    spans: &[SpanRecord],
+    children: &[Vec<usize>],
+    global: usize,
+    tree: &mut TraceTree,
+) -> usize {
+    let local = tree.nodes.len();
+    tree.nodes.push(TraceNode { span: spans[global].clone(), children: Vec::new() });
+    for &c in &children[global] {
+        let cl = copy_subtree(spans, children, c, tree);
+        tree.nodes[local].children.push(cl);
+    }
+    local
+}
+
+/// Assembles and enforces the structural invariants on a span stream:
+/// unique ids, no orphans, exactly one tree per `(endpoint, qid)`, every
+/// query root is an arrival span, and every parent causally precedes its
+/// children (within clock slack). Returns the forest on success.
+pub fn check_well_formed(spans: &[SpanRecord]) -> Result<Forest, String> {
+    let forest = assemble(spans)?;
+    let mut seen_keys: BTreeSet<(u64, u64)> = BTreeSet::new();
+    for tree in &forest.queries {
+        let key = tree.query_key().expect("query tree roots have Root links");
+        if !seen_keys.insert(key) {
+            return Err(format!("query {key:?} has more than one root tree"));
+        }
+        let root_kind = tree.root().span.kind;
+        if !matches!(root_kind, SpanKind::UserQuery | SpanKind::Forward) {
+            return Err(format!(
+                "query {key:?} root is a {} span, not an arrival",
+                root_kind.label()
+            ));
+        }
+    }
+    for tree in forest.queries.iter().chain(forest.transfers.iter()) {
+        for node in &tree.nodes {
+            for &c in &node.children {
+                let child = &tree.nodes[c].span;
+                if child.t0 + CAUSAL_EPS < node.span.t0 {
+                    return Err(format!(
+                        "span {} (t0={}) precedes its parent {} (t0={})",
+                        child.id, child.t0, node.span.id, node.span.t0
+                    ));
+                }
+            }
+        }
+    }
+    Ok(forest)
+}
+
+/// Per-site cache outcome tallies for one query (paper §3.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    pub hits: u64,
+    pub partial_matches: u64,
+    pub misses: u64,
+}
+
+/// The `query explain` summary of one assembled query tree.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    pub endpoint: u64,
+    pub qid: u64,
+    /// Every site that recorded work for this query.
+    pub sites: BTreeSet<u32>,
+    /// Message deliveries recorded in the trace (user query arrival,
+    /// forwards, sub-query and sub-answer deliveries). Fault-free this is
+    /// the paper's messages-per-query, minus the final user reply.
+    pub hops: u64,
+    /// Span tallies by kind.
+    pub span_counts: BTreeMap<SpanKind, u64>,
+    /// First-pass cache outcome tallies per site.
+    pub cache: BTreeMap<u32, CacheCounts>,
+    /// Stale-skeleton re-asks (§3.3 consistency rejections).
+    pub consistency_rejections: u64,
+    pub retries: u64,
+    /// Unreachable-owner stubs patched into the final answer.
+    pub partial_stubs: u64,
+    /// Summed QEG phase timings per site.
+    pub phases: BTreeMap<u32, Phases>,
+}
+
+/// Summarizes one query tree.
+pub fn explain_tree(tree: &TraceTree) -> ExplainReport {
+    let (endpoint, qid) = tree.query_key().unwrap_or((0, 0));
+    let mut r = ExplainReport {
+        endpoint,
+        qid,
+        sites: BTreeSet::new(),
+        hops: 0,
+        span_counts: BTreeMap::new(),
+        cache: BTreeMap::new(),
+        consistency_rejections: 0,
+        retries: 0,
+        partial_stubs: 0,
+        phases: BTreeMap::new(),
+    };
+    for node in &tree.nodes {
+        let s = &node.span;
+        r.sites.insert(s.site);
+        *r.span_counts.entry(s.kind).or_insert(0) += 1;
+        if matches!(
+            s.kind,
+            SpanKind::UserQuery | SpanKind::Forward | SpanKind::SubQuery | SpanKind::SubAnswer
+        ) {
+            r.hops += 1;
+        }
+        if let Some(outcome) = s.cache {
+            let c = r.cache.entry(s.site).or_default();
+            match outcome {
+                CacheOutcome::Hit => c.hits += 1,
+                CacheOutcome::PartialMatch => c.partial_matches += 1,
+                CacheOutcome::Miss => c.misses += 1,
+            }
+        }
+        if s.kind == SpanKind::Ask && s.detail.contains("kind=stale") {
+            r.consistency_rejections += 1;
+        }
+        if s.kind == SpanKind::Retry {
+            r.retries += 1;
+        }
+        if s.kind == SpanKind::Finalize {
+            r.partial_stubs += s.corr;
+        }
+        if !s.phases.is_zero() {
+            r.phases.entry(s.site).or_default().add(&s.phases);
+        }
+    }
+    r
+}
+
+/// Canonical, timing-free rendering of a trace tree. Two runs of the same
+/// workload — DES virtual time vs. live wall time — must produce
+/// byte-identical digests per query; everything clock- or id-dependent is
+/// excluded, and sibling order is canonicalized by `(kind, site, target,
+/// detail)` because concurrent sub-answers may arrive in either order on
+/// the live substrate.
+pub fn structure_digest(tree: &TraceTree) -> String {
+    let mut out = String::new();
+    digest_node(tree, 0, 0, &mut out);
+    out
+}
+
+fn digest_node(tree: &TraceTree, idx: usize, depth: usize, out: &mut String) {
+    let s = &tree.nodes[idx].span;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(out, "{}@s{}", s.kind.label(), s.site);
+    if s.target != 0 {
+        let _ = write!(out, "->s{}", s.target);
+    }
+    if let Some(c) = s.cache {
+        let _ = write!(out, " cache={}", c.label());
+    }
+    if s.partial {
+        out.push_str(" partial");
+    }
+    if !s.detail.is_empty() {
+        let _ = write!(out, " {}", s.detail);
+    }
+    out.push('\n');
+    let mut kids = tree.nodes[idx].children.clone();
+    kids.sort_by(|&a, &b| {
+        let (x, y) = (&tree.nodes[a].span, &tree.nodes[b].span);
+        (x.kind, x.site, x.target, &x.detail).cmp(&(y.kind, y.site, y.target, &y.detail))
+    });
+    for c in kids {
+        digest_node(tree, c, depth + 1, out);
+    }
+}
+
+/// The full human-oriented `query explain` rendering: summary header, then
+/// the span tree with timings.
+pub fn render_explain(tree: &TraceTree) -> String {
+    let r = explain_tree(tree);
+    let mut out = String::new();
+    let _ = writeln!(out, "query qid={} endpoint={}", r.qid, r.endpoint);
+    let sites: Vec<String> = r.sites.iter().map(|s| format!("s{s}")).collect();
+    let _ = writeln!(
+        out,
+        "  sites: {{{}}}  hops: {}  retries: {}  stale-reasks: {}  partial-stubs: {}",
+        sites.join(","),
+        r.hops,
+        r.retries,
+        r.consistency_rejections,
+        r.partial_stubs
+    );
+    for (site, c) in &r.cache {
+        let _ = writeln!(
+            out,
+            "  cache s{site}: hit={} partial-match={} miss={}",
+            c.hits, c.partial_matches, c.misses
+        );
+    }
+    for (site, p) in &r.phases {
+        let _ = writeln!(
+            out,
+            "  phases s{site}: compile={:.6} execute={:.6} gather={:.6} merge={:.6}",
+            p.compile, p.execute, p.gather, p.merge
+        );
+    }
+    out.push_str("  --- span tree ---\n");
+    render_node(tree, 0, 1, &mut out);
+    out
+}
+
+fn render_node(tree: &TraceTree, idx: usize, depth: usize, out: &mut String) {
+    let s = &tree.nodes[idx].span;
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = write!(
+        out,
+        "[{}] {}@s{} t0={:.6} dur={:.6}",
+        s.id,
+        s.kind.label(),
+        s.site,
+        s.t0,
+        s.dur
+    );
+    if s.queue_wait > 0.0 {
+        let _ = write!(out, " qwait={:.6}", s.queue_wait);
+    }
+    if s.target != 0 {
+        let _ = write!(out, " -> s{}", s.target);
+    }
+    if let Some(c) = s.cache {
+        let _ = write!(out, " cache={}", c.label());
+    }
+    if s.partial {
+        out.push_str(" partial");
+    }
+    if !s.detail.is_empty() {
+        let _ = write!(out, " {}", s.detail);
+    }
+    out.push('\n');
+    for &c in &tree.nodes[idx].children {
+        render_node(tree, c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Link;
+
+    fn span(id: u64, link: Link, site: u32, kind: SpanKind, t0: f64) -> SpanRecord {
+        SpanRecord::new(id, link, site, kind, t0)
+    }
+
+    /// root(user-query s1) -> execute, ask->s2; remote sub-query s2 links
+    /// via (asker=1, sub_qid=42); sub-answer chains under the ask span.
+    fn two_site_trace() -> Vec<SpanRecord> {
+        let mut ask = span(3, Link::ChildOf { parent: 1 }, 1, SpanKind::Ask, 0.2);
+        ask.corr = 42;
+        ask.target = 2;
+        ask.detail = "path=/r/a kind=query".into();
+        let mut exec = span(2, Link::ChildOf { parent: 1 }, 1, SpanKind::Execute, 0.1);
+        exec.cache = Some(CacheOutcome::PartialMatch);
+        exec.phases = Phases { compile: 0.01, execute: 0.02, gather: 0.0, merge: 0.0 };
+        vec![
+            span(1, Link::Root { endpoint: 9, qid: 5 }, 1, SpanKind::UserQuery, 0.0),
+            exec,
+            ask,
+            span(4, Link::Ask { asker: 1, sub_qid: 42 }, 2, SpanKind::SubQuery, 0.5),
+            span(5, Link::Ask { asker: 1, sub_qid: 42 }, 1, SpanKind::SubAnswer, 0.9),
+            span(6, Link::ChildOf { parent: 1 }, 1, SpanKind::Finalize, 1.0),
+        ]
+    }
+
+    #[test]
+    fn assembles_cross_site_edges() {
+        let forest = check_well_formed(&two_site_trace()).unwrap();
+        assert_eq!(forest.queries.len(), 1);
+        assert!(forest.transfers.is_empty());
+        let tree = &forest.queries[0];
+        assert_eq!(tree.nodes.len(), 6);
+        assert_eq!(tree.root().span.id, 1);
+        // The ask span has two children: remote sub-query + local sub-answer.
+        let ask = tree.nodes.iter().find(|n| n.span.kind == SpanKind::Ask).unwrap();
+        assert_eq!(ask.children.len(), 2);
+    }
+
+    #[test]
+    fn explain_summarizes() {
+        let forest = check_well_formed(&two_site_trace()).unwrap();
+        let r = explain_tree(&forest.queries[0]);
+        assert_eq!((r.endpoint, r.qid), (9, 5));
+        assert_eq!(r.sites, BTreeSet::from([1, 2]));
+        assert_eq!(r.hops, 3); // user-query + sub-query + sub-answer
+        assert_eq!(r.cache[&1].partial_matches, 1);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.consistency_rejections, 0);
+        assert!((r.phases[&1].compile - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_timing_free_and_sibling_order_free() {
+        let a = two_site_trace();
+        let mut b = a.clone();
+        // Perturb every timestamp (same order) and swap record order of the
+        // execute/ask siblings: digest must not change.
+        for s in &mut b {
+            s.t0 = s.t0 * 3.0 + 1.0;
+            s.dur += 0.25;
+            s.queue_wait += 0.1;
+        }
+        b.swap(1, 2);
+        let da = structure_digest(&check_well_formed(&a).unwrap().queries[0]);
+        let db = structure_digest(&check_well_formed(&b).unwrap().queries[0]);
+        assert_eq!(da, db);
+        assert!(!da.contains("t0"), "digest must not embed timings: {da}");
+        assert!(da.contains("ask@s1->s2"));
+    }
+
+    #[test]
+    fn orphan_child_is_rejected() {
+        let spans = vec![span(1, Link::ChildOf { parent: 99 }, 1, SpanKind::Execute, 0.0)];
+        let err = check_well_formed(&spans).unwrap_err();
+        assert!(err.contains("orphan"), "{err}");
+    }
+
+    #[test]
+    fn orphan_ask_link_is_rejected() {
+        let spans = vec![
+            span(1, Link::Root { endpoint: 1, qid: 1 }, 1, SpanKind::UserQuery, 0.0),
+            span(2, Link::Ask { asker: 1, sub_qid: 7 }, 2, SpanKind::SubQuery, 0.1),
+        ];
+        assert!(check_well_formed(&spans).unwrap_err().contains("orphan"));
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let spans = vec![
+            span(1, Link::Root { endpoint: 1, qid: 1 }, 1, SpanKind::UserQuery, 0.0),
+            span(1, Link::ChildOf { parent: 1 }, 1, SpanKind::Execute, 0.1),
+        ];
+        assert!(check_well_formed(&spans).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn duplicate_root_claims_chain_not_fork() {
+        // A fault-duplicated user-query delivery: second Root claimant
+        // chains under the first instead of forking a second tree.
+        let spans = vec![
+            span(1, Link::Root { endpoint: 4, qid: 2 }, 1, SpanKind::UserQuery, 0.0),
+            span(2, Link::Root { endpoint: 4, qid: 2 }, 1, SpanKind::UserQuery, 0.3),
+        ];
+        let forest = check_well_formed(&spans).unwrap();
+        assert_eq!(forest.queries.len(), 1);
+        assert_eq!(forest.queries[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn child_before_parent_is_rejected() {
+        let spans = vec![
+            span(1, Link::Root { endpoint: 1, qid: 1 }, 1, SpanKind::UserQuery, 5.0),
+            span(2, Link::ChildOf { parent: 1 }, 1, SpanKind::Execute, 1.0),
+        ];
+        assert!(check_well_formed(&spans).unwrap_err().contains("precedes"));
+    }
+
+    #[test]
+    fn transfer_trees_assemble_separately() {
+        let mut out = span(1, Link::Transfer { path: "/r/n".into() }, 1, SpanKind::MigrateOut, 0.0);
+        out.target = 2;
+        let spans = vec![
+            out,
+            span(2, Link::Transfer { path: "/r/n".into() }, 2, SpanKind::MigrateIn, 0.4),
+            span(3, Link::Transfer { path: "/r/n".into() }, 1, SpanKind::MigrateAck, 0.8),
+        ];
+        let forest = check_well_formed(&spans).unwrap();
+        assert!(forest.queries.is_empty());
+        assert_eq!(forest.transfers.len(), 1);
+        assert_eq!(forest.transfers[0].nodes.len(), 3);
+        // MigrateIn-without-MigrateOut is an orphan.
+        assert!(check_well_formed(&spans[1..]).is_err());
+    }
+
+    #[test]
+    fn render_explain_mentions_the_essentials() {
+        let forest = check_well_formed(&two_site_trace()).unwrap();
+        let text = render_explain(&forest.queries[0]);
+        assert!(text.contains("sites: {s1,s2}"));
+        assert!(text.contains("cache s1: hit=0 partial-match=1 miss=0"));
+        assert!(text.contains("phases s1:"));
+        assert!(text.contains("user-query@s1"));
+    }
+}

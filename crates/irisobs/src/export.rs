@@ -1,0 +1,384 @@
+//! JSONL export and re-import of traces and metrics.
+//!
+//! One flat JSON object per line, `"type"` discriminated: `span`,
+//! `counter`, `hist`. Values are only strings, numbers and booleans —
+//! flat on purpose, so the dump stays greppable/`jq`-able and the
+//! hand-rolled parser (no serde in this workspace) stays small. Spans
+//! round-trip exactly except for float formatting at extreme magnitudes;
+//! every field the explain/invariant machinery consumes survives.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{CacheOutcome, Link, Phases, SpanKind, SpanRecord};
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Shortest representation that round-trips through f64.
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Encodes one span as a single JSONL line (no trailing newline).
+pub fn span_to_jsonl(s: &SpanRecord) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(out, "{{\"type\":\"span\",\"id\":{},", s.id);
+    match &s.link {
+        Link::Root { endpoint, qid } => {
+            let _ = write!(out, "\"link\":\"root\",\"ep\":{endpoint},\"qid\":{qid},");
+        }
+        Link::ChildOf { parent } => {
+            let _ = write!(out, "\"link\":\"child\",\"parent\":{parent},");
+        }
+        Link::Ask { asker, sub_qid } => {
+            let _ = write!(out, "\"link\":\"ask\",\"asker\":{asker},\"sub_qid\":{sub_qid},");
+        }
+        Link::Transfer { path } => {
+            out.push_str("\"link\":\"xfer\",\"path\":");
+            push_json_str(&mut out, path);
+            out.push(',');
+        }
+    }
+    let _ = write!(
+        out,
+        "\"site\":{},\"kind\":\"{}\",\"t0\":{},\"dur\":{},\"qwait\":{},\"corr\":{},\"target\":{}",
+        s.site,
+        s.kind.label(),
+        fmt_f64(s.t0),
+        fmt_f64(s.dur),
+        fmt_f64(s.queue_wait),
+        s.corr,
+        s.target
+    );
+    if let Some(c) = s.cache {
+        let _ = write!(out, ",\"cache\":\"{}\"", c.label());
+    }
+    if s.partial {
+        out.push_str(",\"partial\":true");
+    }
+    if !s.phases.is_zero() {
+        let _ = write!(
+            out,
+            ",\"ph_compile\":{},\"ph_execute\":{},\"ph_gather\":{},\"ph_merge\":{}",
+            fmt_f64(s.phases.compile),
+            fmt_f64(s.phases.execute),
+            fmt_f64(s.phases.gather),
+            fmt_f64(s.phases.merge)
+        );
+    }
+    if !s.detail.is_empty() {
+        out.push_str(",\"detail\":");
+        push_json_str(&mut out, &s.detail);
+    }
+    out.push('}');
+    out
+}
+
+/// Encodes a metrics snapshot, one line per series.
+pub fn metrics_to_jsonl(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &m.counters {
+        let _ = write!(out, "{{\"type\":\"counter\",\"site\":{},\"name\":", c.site);
+        push_json_str(&mut out, &c.name);
+        let _ = writeln!(out, ",\"value\":{}}}", c.value);
+    }
+    for h in &m.histograms {
+        let _ = write!(out, "{{\"type\":\"hist\",\"site\":{},\"name\":", h.site);
+        push_json_str(&mut out, &h.name);
+        let buckets: Vec<String> =
+            h.buckets.iter().map(|(i, c)| format!("{i}:{c}")).collect();
+        let _ = write!(
+            out,
+            ",\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":",
+            h.count,
+            fmt_f64(h.mean),
+            fmt_f64(h.p50),
+            fmt_f64(h.p99)
+        );
+        push_json_str(&mut out, &buckets.join(" "));
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Full dump: all spans (record order) then all metric series.
+pub fn dump_jsonl(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&span_to_jsonl(s));
+        out.push('\n');
+    }
+    out.push_str(&metrics_to_jsonl(metrics));
+    out
+}
+
+/// A parsed flat-JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    S(String),
+    N(f64),
+    B(bool),
+}
+
+impl JVal {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JVal::N(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JVal::N(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JVal::S(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool values only).
+fn parse_flat(line: &str) -> Result<BTreeMap<String, JVal>, String> {
+    let mut fields = BTreeMap::new();
+    let bytes = line.trim();
+    let inner = bytes
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not an object: {line}"))?;
+    let mut chars = inner.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let val = match chars.peek() {
+            Some('"') => JVal::S(parse_string(&mut chars)?),
+            Some('t') | Some('f') => {
+                let mut word = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(chars.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => JVal::B(true),
+                    "false" => JVal::B(false),
+                    w => return Err(format!("bad literal {w:?}")),
+                }
+            }
+            Some(_) => {
+                let mut num = String::new();
+                while matches!(chars.peek(),
+                    Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    num.push(chars.next().unwrap());
+                }
+                JVal::N(num.parse::<f64>().map_err(|e| format!("bad number {num:?}: {e}"))?)
+            }
+            None => return Err(format!("missing value for key {key:?}")),
+        };
+        fields.insert(key, val);
+    }
+    Ok(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected string".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let cp = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                    out.push(char::from_u32(cp).ok_or("bad codepoint")?);
+                }
+                e => return Err(format!("bad escape {e:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+/// Parses one `"type":"span"` JSONL line back into a [`SpanRecord`].
+pub fn span_from_jsonl(line: &str) -> Result<SpanRecord, String> {
+    let f = parse_flat(line)?;
+    if f.get("type").and_then(JVal::as_str) != Some("span") {
+        return Err(format!("not a span line: {line}"));
+    }
+    let u = |k: &str| f.get(k).and_then(JVal::as_u64).ok_or(format!("missing/bad {k}"));
+    let fl = |k: &str| f.get(k).and_then(JVal::as_f64).ok_or(format!("missing/bad {k}"));
+    let link = match f.get("link").and_then(JVal::as_str) {
+        Some("root") => Link::Root { endpoint: u("ep")?, qid: u("qid")? },
+        Some("child") => Link::ChildOf { parent: u("parent")? },
+        Some("ask") => Link::Ask { asker: u("asker")? as u32, sub_qid: u("sub_qid")? },
+        Some("xfer") => Link::Transfer {
+            path: f.get("path").and_then(JVal::as_str).ok_or("missing path")?.to_string(),
+        },
+        other => return Err(format!("bad link {other:?}")),
+    };
+    let kind = f
+        .get("kind")
+        .and_then(JVal::as_str)
+        .and_then(SpanKind::parse)
+        .ok_or("missing/bad kind")?;
+    let cache = match f.get("cache").and_then(JVal::as_str) {
+        Some(s) => Some(CacheOutcome::parse(s).ok_or(format!("bad cache {s:?}"))?),
+        None => None,
+    };
+    Ok(SpanRecord {
+        id: u("id")?,
+        link,
+        site: u("site")? as u32,
+        kind,
+        t0: fl("t0")?,
+        dur: fl("dur")?,
+        queue_wait: fl("qwait")?,
+        corr: u("corr")?,
+        target: u("target")? as u32,
+        cache,
+        partial: matches!(f.get("partial"), Some(JVal::B(true))),
+        phases: Phases {
+            compile: f.get("ph_compile").and_then(JVal::as_f64).unwrap_or(0.0),
+            execute: f.get("ph_execute").and_then(JVal::as_f64).unwrap_or(0.0),
+            gather: f.get("ph_gather").and_then(JVal::as_f64).unwrap_or(0.0),
+            merge: f.get("ph_merge").and_then(JVal::as_f64).unwrap_or(0.0),
+        },
+        detail: f.get("detail").and_then(JVal::as_str).unwrap_or("").to_string(),
+    })
+}
+
+/// Extracts all span lines from a JSONL dump, ignoring metric lines and
+/// blanks. Errors on malformed span lines.
+pub fn parse_spans(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut spans = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.contains("\"type\":\"span\"") {
+            spans.push(span_from_jsonl(t).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                cache: Some(CacheOutcome::PartialMatch),
+                partial: true,
+                corr: 7,
+                target: 2,
+                dur: 0.25,
+                queue_wait: 0.003,
+                phases: Phases { compile: 0.01, execute: 0.2, gather: 0.04, merge: 0.0 },
+                detail: "iter=1 \"quoted\"\npath=/a/b".into(),
+                ..SpanRecord::new(1, Link::Root { endpoint: 10_000, qid: 3 }, 1,
+                                  SpanKind::UserQuery, 12.5)
+            },
+            SpanRecord::new(2, Link::ChildOf { parent: 1 }, 1, SpanKind::Execute, 12.5),
+            SpanRecord::new(3, Link::Ask { asker: 1, sub_qid: 42 }, 2, SpanKind::SubQuery, 13.0),
+            SpanRecord::new(4, Link::Transfer { path: "/x/y[1]".into() }, 3,
+                            SpanKind::MigrateOut, 99.0),
+        ]
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        for s in sample_spans() {
+            let line = span_to_jsonl(&s);
+            let back = span_from_jsonl(&line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+            assert_eq!(back, s, "round trip through {line}");
+        }
+    }
+
+    #[test]
+    fn dump_interleaves_and_parse_recovers_spans_only() {
+        let r = Registry::new();
+        r.counter(1, "asks").add(5);
+        r.histogram(1, "svc\"time").observe(0.25);
+        let spans = sample_spans();
+        let dump = dump_jsonl(&spans, &r.snapshot());
+        assert_eq!(dump.lines().count(), spans.len() + 2);
+        let back = parse_spans(&dump).unwrap();
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn malformed_span_line_is_an_error() {
+        assert!(span_from_jsonl("{\"type\":\"span\",\"id\":1}").is_err());
+        assert!(span_from_jsonl("not json").is_err());
+        assert!(span_from_jsonl("{\"type\":\"counter\",\"site\":1}").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}f");
+        let mut chars = s.chars().peekable();
+        assert_eq!(parse_string(&mut chars).unwrap(), "a\"b\\c\nd\te\u{1}f");
+    }
+
+    #[test]
+    fn floats_keep_precision() {
+        let mut s = SpanRecord::new(9, Link::ChildOf { parent: 1 }, 1, SpanKind::Finalize, 0.0);
+        s.t0 = 1234.000_000_123;
+        s.dur = 1e-9;
+        let back = span_from_jsonl(&span_to_jsonl(&s)).unwrap();
+        assert_eq!(back.t0, s.t0);
+        assert_eq!(back.dur, s.dur);
+    }
+}

@@ -1,0 +1,377 @@
+//! Lock-free named metric series: counters and log2-bucket histograms.
+//!
+//! The hot path never takes a lock: callers hold `Arc<Counter>` /
+//! `Arc<Histogram>` handles resolved once at registration time, and every
+//! update is a single relaxed atomic op. The [`Registry`] map itself is
+//! behind an `RwLock`, but it is only touched at registration and snapshot
+//! time, never per-message.
+//!
+//! Histograms bucket by powers of two of a nanosecond-resolution fixed
+//! point (`value × 1e9`), giving ~64 buckets spanning sub-nanosecond to
+//! centuries — the classic HDR-lite trade: ≤ 2× relative error per bucket,
+//! zero allocation, zero contention beyond the bucket increment itself.
+//! The same shape serves durations (seconds in, seconds out) and small
+//! dimensionless gauges like queue depth (where ≤ 2× error is plenty to
+//! spot saturation).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value. For counters that mirror an externally-owned
+    /// tally published at snapshot time (not for hot-path increments).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Number of log2 buckets; bucket `i` covers fixed-point values in
+/// `[2^(i-1), 2^i)` (bucket 0 holds the value 0).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A lock-free log2-bucket histogram over non-negative `f64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    /// Sum of fixed-point (×1e9) sample values, for exact means.
+    sum_fp: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_fp: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-point encode: nanosecond resolution for second-denominated values.
+fn to_fp(v: f64) -> u64 {
+    (v.max(0.0) * 1e9) as u64
+}
+
+fn bucket_of(fp: u64) -> usize {
+    if fp == 0 {
+        0
+    } else {
+        (64 - fp.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Upper edge of bucket `i`, decoded back to the sample domain.
+fn bucket_upper(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (1u64 << i.min(63)) as f64 / 1e9
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let fp = to_fp(v);
+        self.buckets[bucket_of(fp)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_fp.fetch_add(fp, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean of observed samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_fp.load(Ordering::Relaxed) as f64 / 1e9 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile: the upper edge of the bucket containing
+    /// the q-th sample (≤ 2× relative error by construction).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(bucket index, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+}
+
+/// Point-in-time value of one counter series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub site: u32,
+    pub name: String,
+    pub value: u64,
+}
+
+/// Point-in-time value of one histogram series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub site: u32,
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// All series at one instant, sorted by `(site, name)`.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSnapshot>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` at `site`, 0 if absent.
+    pub fn counter(&self, site: u32, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.site == site && c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Sum of counter `name` across all sites.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
+    }
+}
+
+/// A per-site registry of named series. Site 0 is reserved for
+/// cluster-global series (client hub, substrate internals).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<(u32, String), Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<(u32, String), Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter `(site, name)`, returning a hot-path
+    /// handle. Call once at setup; update through the handle.
+    pub fn counter(&self, site: u32, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().unwrap().get(&(site, name.to_string())) {
+            return Arc::clone(c);
+        }
+        let mut w = self.counters.write().unwrap();
+        Arc::clone(
+            w.entry((site, name.to_string()))
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Register *existing* counter storage under a series name. This is how
+    /// pre-existing one-off atomics (e.g. the QEG factory's hit/miss/
+    /// eviction counters) join the plane without double-counting: the same
+    /// `Arc<Counter>` is both the component's working counter and the
+    /// registry's series.
+    pub fn adopt_counter(&self, site: u32, name: &str, counter: Arc<Counter>) {
+        self.counters
+            .write()
+            .unwrap()
+            .insert((site, name.to_string()), counter);
+    }
+
+    /// Get-or-create the histogram `(site, name)`.
+    pub fn histogram(&self, site: u32, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(&(site, name.to_string())) {
+            return Arc::clone(h);
+        }
+        let mut w = self.histograms.write().unwrap();
+        Arc::clone(
+            w.entry((site, name.to_string()))
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// All series, sorted by `(site, name)` for deterministic export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|((site, name), c)| CounterSnapshot {
+                site: *site,
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|((site, name), h)| HistogramSnapshot {
+                site: *site,
+                name: name.clone(),
+                count: h.count(),
+                mean: h.mean(),
+                p50: h.quantile(0.5),
+                p99: h.quantile(0.99),
+                buckets: h.nonzero_buckets(),
+            })
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Upper edges decode back into the sample domain.
+        assert_eq!(bucket_upper(0), 0.0);
+        assert_eq!(bucket_upper(1), 2e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 * 1e-3); // 1ms .. 1s
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 0.5005).abs() < 1e-6);
+        let p50 = h.quantile(0.5);
+        // Bucket upper edge: true p50 is 0.5s, the estimate must be within
+        // [0.5, 1.0) (≤2× error, never below the true quantile).
+        assert!((0.5..1.0).contains(&p50), "p50 estimate {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((0.99..2.0).contains(&p99), "p99 estimate {p99}");
+        assert!(h.quantile(1.0) >= 1.0);
+    }
+
+    #[test]
+    fn histogram_zero_and_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        h.observe(0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn registry_shares_storage() {
+        let r = Registry::new();
+        let a = r.counter(1, "asks");
+        let b = r.counter(1, "asks");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        assert_eq!(r.snapshot().counter(1, "asks"), 3);
+        assert_eq!(r.snapshot().counter(2, "asks"), 0);
+    }
+
+    #[test]
+    fn adopted_counters_are_the_same_storage() {
+        let r = Registry::new();
+        let working = Arc::new(Counter::new());
+        working.add(7);
+        r.adopt_counter(3, "qeg.skeleton_hits", Arc::clone(&working));
+        assert_eq!(r.snapshot().counter(3, "qeg.skeleton_hits"), 7);
+        working.inc();
+        assert_eq!(r.snapshot().counter(3, "qeg.skeleton_hits"), 8);
+        // get-or-create after adoption resolves to the adopted storage.
+        assert_eq!(r.counter(3, "qeg.skeleton_hits").get(), 8);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let r = Registry::new();
+        r.counter(2, "b");
+        r.counter(1, "z");
+        r.counter(1, "a");
+        let keys: Vec<(u32, String)> =
+            r.snapshot().counters.into_iter().map(|c| (c.site, c.name)).collect();
+        assert_eq!(
+            keys,
+            vec![(1, "a".into()), (1, "z".into()), (2, "b".into())]
+        );
+    }
+
+    #[test]
+    fn counter_total_sums_sites() {
+        let r = Registry::new();
+        r.counter(1, "retries").add(2);
+        r.counter(2, "retries").add(3);
+        assert_eq!(r.snapshot().counter_total("retries"), 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! The `Recorder` trait: how instrumented code hands spans and metrics to
+//! the observability plane.
+//!
+//! Instrumentation sites cache `enabled()` once (the agent keeps an `on:
+//! bool` next to its recorder handle), so with the default
+//! [`NoopRecorder`] the entire plane costs one predictable branch per
+//! message — the overhead budget the release guard in
+//! `scripts/obs_smoke.sh` enforces (< 2 % vs. the PR 2 hot-site baseline).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::Registry;
+use crate::span::SpanRecord;
+
+/// A sink for spans and a home for metric series. Implementations must be
+/// cheap to call from every site thread concurrently.
+pub trait Recorder: std::fmt::Debug + Send + Sync {
+    /// Whether spans should be recorded at all. Callers may cache this for
+    /// the lifetime of the recorder (it must not change after setup).
+    fn enabled(&self) -> bool;
+
+    /// A fresh recorder-unique span id (never 0).
+    fn next_span_id(&self) -> u64;
+
+    /// Accept one finished span.
+    fn record_span(&self, span: SpanRecord);
+
+    /// The metrics registry, if this recorder keeps one. Metric series are
+    /// registered through here at setup; `None` means callers should keep
+    /// their plain internal counters and register nothing.
+    fn registry(&self) -> Option<&Registry>;
+}
+
+/// The zero-cost default: drops everything, owns nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn next_span_id(&self) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn record_span(&self, _span: SpanRecord) {}
+
+    #[inline]
+    fn registry(&self) -> Option<&Registry> {
+        None
+    }
+}
+
+/// An in-memory recorder: spans in a mutex-guarded vector (amortized one
+/// push per span), metrics in a [`Registry`]. Shared across sites via
+/// `Arc`, drained once at the end of a run.
+#[derive(Debug, Default)]
+pub struct MemRecorder {
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    registry: Registry,
+}
+
+impl MemRecorder {
+    pub fn new() -> Arc<MemRecorder> {
+        Arc::new(MemRecorder::default())
+    }
+
+    /// A copy of all spans recorded so far, in record order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Drains recorded spans, leaving the recorder empty.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.spans.lock().unwrap())
+    }
+
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn record_span(&self, span: SpanRecord) {
+        self.spans.lock().unwrap().push(span);
+    }
+
+    fn registry(&self) -> Option<&Registry> {
+        Some(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Link, SpanKind};
+
+    #[test]
+    fn noop_is_disabled_and_idless() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        assert_eq!(r.next_span_id(), 0);
+        assert!(r.registry().is_none());
+    }
+
+    #[test]
+    fn mem_recorder_assigns_unique_nonzero_ids() {
+        let r = MemRecorder::new();
+        let a = r.next_span_id();
+        let b = r.next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mem_recorder_stores_and_drains() {
+        let r = MemRecorder::new();
+        let id = r.next_span_id();
+        r.record_span(SpanRecord::new(
+            id,
+            Link::Root { endpoint: 1, qid: 1 },
+            1,
+            SpanKind::UserQuery,
+            0.0,
+        ));
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.take_spans().len(), 1);
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn mem_recorder_is_shareable_across_threads() {
+        let r = MemRecorder::new();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let rc = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let id = rc.next_span_id();
+                    rc.record_span(SpanRecord::new(
+                        id,
+                        Link::Root { endpoint: t as u64, qid: id },
+                        t,
+                        SpanKind::UserQuery,
+                        0.0,
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spans = r.spans();
+        assert_eq!(spans.len(), 400);
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 400, "span ids must be unique");
+    }
+}

@@ -81,27 +81,41 @@ fn fold_step(s: &Step) -> Step {
 
 fn fold_binary(op: BinOp, l: Expr, r: Expr) -> Expr {
     use BinOp::*;
-    // Boolean short-circuits with constant operands.
+    // Boolean short-circuits with constant operands. Eliminating the
+    // constant operand must not change the expression's *type*: `x and
+    // true()` yields a boolean even when `x` is a node-set, so the
+    // surviving operand is wrapped in `boolean()` unless it already
+    // always evaluates to one (`count(x and true())` must keep erroring
+    // after optimization). Discarding the left operand is always safe
+    // (evaluation short-circuits before reaching the right), but
+    // discarding the *right* operand also discards any error it would
+    // have raised, so that fold requires an infallible left side.
     match op {
         And => {
+            if is_false_call(&l) {
+                return Expr::Call("false".into(), vec![]);
+            }
             if is_true_call(&l) {
-                return r;
+                return as_boolean(r);
             }
             if is_true_call(&r) {
-                return l;
+                return as_boolean(l);
             }
-            if is_false_call(&l) || is_false_call(&r) {
+            if is_false_call(&r) && is_infallible(&l) {
                 return Expr::Call("false".into(), vec![]);
             }
         }
         Or => {
+            if is_true_call(&l) {
+                return Expr::Call("true".into(), vec![]);
+            }
             if is_false_call(&l) {
-                return r;
+                return as_boolean(r);
             }
             if is_false_call(&r) {
-                return l;
+                return as_boolean(l);
             }
-            if is_true_call(&l) || is_true_call(&r) {
+            if is_true_call(&r) && is_infallible(&l) {
                 return Expr::Call("true".into(), vec![]);
             }
         }
@@ -180,6 +194,35 @@ fn is_false_call(e: &Expr) -> bool {
 
 fn bool_call(b: bool) -> Expr {
     Expr::Call(if b { "true" } else { "false" }.to_string(), vec![])
+}
+
+/// True if the expression always evaluates to a boolean value.
+fn is_boolean_typed(e: &Expr) -> bool {
+    use BinOp::*;
+    match e {
+        Expr::Binary(op, ..) => matches!(op, And | Or | Eq | Ne | Lt | Le | Gt | Ge),
+        Expr::Call(name, _) => {
+            matches!(name.as_str(), "true" | "false" | "not" | "boolean" | "contains" | "starts-with")
+        }
+        _ => false,
+    }
+}
+
+/// `e` if it is already boolean-typed, else `boolean(e)` — the coercion
+/// an `and`/`or` operand position would have applied.
+fn as_boolean(e: Expr) -> Expr {
+    if is_boolean_typed(&e) {
+        e
+    } else {
+        Expr::Call("boolean".into(), vec![e])
+    }
+}
+
+/// True if evaluating the expression can never raise an error (used to
+/// justify discarding it entirely). Deliberately conservative: constants
+/// and the nullary boolean calls.
+fn is_infallible(e: &Expr) -> bool {
+    matches!(e, Expr::Number(_) | Expr::Literal(_)) || is_true_call(e) || is_false_call(e)
 }
 
 /// Applies `f` to every step in the expression tree, recursing into

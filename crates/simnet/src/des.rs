@@ -9,10 +9,12 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
 use irisdns::{AuthoritativeDns, CachingResolver, SiteAddr};
 use irisnet_core::{Endpoint, Message, OrganizingAgent, Outbound, QueryId};
+use irisobs::Recorder;
 
 use crate::faults::{FaultCounts, FaultPlan, FaultState};
 use crate::trace::Trace;
@@ -207,6 +209,10 @@ pub struct DesCluster {
     /// `CostModel::net_latency`. Models wide-area topologies where some
     /// sites are thousands of miles apart (paper §7).
     link_latency: HashMap<(SiteAddr, SiteAddr), f64>,
+    /// Observability recorder shared by every site (None = tracing off).
+    /// Span timestamps use *virtual* time, so DES traces are structurally
+    /// comparable with live ones but deterministically timed.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl DesCluster {
@@ -231,6 +237,25 @@ impl DesCluster {
             tick_scheduled: HashMap::new(),
             trace: Trace::new(),
             link_latency: HashMap::new(),
+            recorder: None,
+        }
+    }
+
+    /// Installs an observability recorder on every site (current and
+    /// future). Agents emit spans into it; the cluster adds per-site
+    /// `des.service_time` / `des.queue_wait` histograms.
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        for site in self.sites.values_mut() {
+            site.oa.set_recorder(rec.clone());
+        }
+        self.recorder = Some(rec);
+    }
+
+    /// Pushes every site's agent counters into the recorder's registry.
+    /// Call once the run is over, before exporting metrics.
+    pub fn publish_metrics(&self) {
+        for site in self.sites.values() {
+            site.oa.publish_metrics();
         }
     }
 
@@ -250,7 +275,10 @@ impl DesCluster {
     }
 
     /// Adds a site; its address must be unique.
-    pub fn add_site(&mut self, oa: OrganizingAgent) {
+    pub fn add_site(&mut self, mut oa: OrganizingAgent) {
+        if let Some(rec) = &self.recorder {
+            oa.set_recorder(rec.clone());
+        }
         let addr = oa.addr;
         let prev = self.sites.insert(addr, Site { oa, busy_until: 0.0, busy_time: 0.0 });
         assert!(prev.is_none(), "duplicate site address {addr:?}");
@@ -370,6 +398,10 @@ impl DesCluster {
         }
         let Some(site) = self.sites.get_mut(&addr) else { return };
         let start = self.now.max(site.busy_until);
+        let queue_wait = start - self.now;
+        if self.recorder.is_some() {
+            site.oa.note_queue_wait(queue_wait);
+        }
         let doc_nodes = site.oa.db().doc().arena_len();
         let t0 = Instant::now();
         let outs = site.oa.handle(msg.clone(), &mut self.dns, start);
@@ -379,6 +411,10 @@ impl DesCluster {
         site.busy_time += service;
         let done = site.busy_until;
         self.trace.record(addr, &msg, service);
+        if let Some(reg) = self.recorder.as_ref().and_then(|r| r.registry()) {
+            reg.histogram(addr.0, "des.service_time").observe(service);
+            reg.histogram(addr.0, "des.queue_wait").observe(queue_wait);
+        }
         if matches!(msg, Message::Update { .. }) {
             self.update_completions.push(done);
         }

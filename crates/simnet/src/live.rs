@@ -18,6 +18,7 @@ use irisnet_core::{
     perform_read, CoreError, Endpoint, IdPath, Message, OrganizingAgent, Outbound,
     QueryId, ReadDone, ReadResult, ReadTask, ReadTaskKind, Service,
 };
+use irisobs::Recorder;
 use parking_lot::Mutex;
 
 use crate::faults::{FaultCounts, FaultPlan, FaultState};
@@ -52,7 +53,7 @@ struct SiteHandle {
 /// A hand-rolled task queue shared between a site's owner loop and its read
 /// workers. Closing wakes every blocked worker so they can exit.
 struct WorkQueue {
-    state: StdMutex<(VecDeque<ReadTask>, bool)>,
+    state: StdMutex<(VecDeque<(ReadTask, Instant)>, bool)>,
     cv: Condvar,
 }
 
@@ -61,10 +62,13 @@ impl WorkQueue {
         WorkQueue { state: StdMutex::new((VecDeque::new(), false)), cv: Condvar::new() }
     }
 
-    fn push(&self, task: ReadTask) {
+    /// Enqueues a task (stamped for queue-wait accounting) and returns the
+    /// queue depth after the push.
+    fn push(&self, task: ReadTask) -> usize {
         let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        g.0.push_back(task);
+        g.0.push_back((task, Instant::now()));
         self.cv.notify_one();
+        g.0.len()
     }
 
     /// Closes the queue and returns every task that was still queued:
@@ -75,20 +79,21 @@ impl WorkQueue {
         let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
         g.1 = true;
         self.cv.notify_all();
-        g.0.drain(..).collect()
+        g.0.drain(..).map(|(t, _)| t).collect()
     }
 
     /// Blocks until a task is available; `None` once closed. Closure wins
     /// over queued work — remaining tasks belong to
-    /// [`WorkQueue::close_abandon`]'s caller.
-    fn pop(&self) -> Option<ReadTask> {
+    /// [`WorkQueue::close_abandon`]'s caller. Returns the task and how long
+    /// it sat queued (seconds).
+    fn pop(&self) -> Option<(ReadTask, f64)> {
         let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if g.1 {
                 return None;
             }
-            if let Some(t) = g.0.pop_front() {
-                return Some(t);
+            if let Some((t, queued_at)) = g.0.pop_front() {
+                return Some((t, queued_at.elapsed().as_secs_f64()));
             }
             g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
@@ -261,6 +266,10 @@ pub struct LiveCluster {
     client_resolver: CachingResolver,
     faults: Arc<FaultLayer>,
     delayer_join: Option<JoinHandle<()>>,
+    /// Observability recorder handed to every site added from now on.
+    /// Span timestamps use wall time since the cluster epoch, matching the
+    /// DES trace shape with real clocks.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl LiveCluster {
@@ -279,7 +288,17 @@ impl LiveCluster {
             client_resolver: CachingResolver::new(3600.0),
             faults: Arc::new(FaultLayer::new(epoch)),
             delayer_join: None,
+            recorder: None,
         }
+    }
+
+    /// Installs an observability recorder. Call *before* [`LiveCluster::add_site`]:
+    /// already-running site threads are not reachable and keep their no-op
+    /// plane. Agents emit spans into it; the site loops add per-site
+    /// `live.read_queue_wait` / `live.read_queue_depth` histograms, and each
+    /// site publishes its counters into the registry when it shuts down.
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.recorder = Some(rec);
     }
 
     /// Installs a fault plan: site-to-site sends from now on pass through
@@ -336,7 +355,10 @@ impl LiveCluster {
     /// QEG programs and serialize answers against a shared read lock on the
     /// site database; completions funnel back to the owner loop so ask
     /// bookkeeping stays single-writer. `workers == 0` is the serial path.
-    pub fn add_site_with_workers(&mut self, oa: OrganizingAgent, workers: usize) {
+    pub fn add_site_with_workers(&mut self, mut oa: OrganizingAgent, workers: usize) {
+        if let Some(rec) = &self.recorder {
+            oa.set_recorder(rec.clone());
+        }
         let addr = oa.addr;
         let (tx, rx) = unbounded::<Envelope>();
         self.senders.lock().insert(addr, tx.clone());
@@ -345,11 +367,14 @@ impl LiveCluster {
         let replies = self.replies.clone();
         let epoch = self.epoch;
         let faults = self.faults.clone();
+        let recorder = self.recorder.clone();
         let self_tx = tx.clone();
         let join = std::thread::Builder::new()
             .name(format!("oa-{}", addr.0))
             .spawn(move || {
-                site_loop(oa, rx, self_tx, dns, senders, replies, epoch, workers, faults)
+                site_loop(
+                    oa, rx, self_tx, dns, senders, replies, epoch, workers, faults, recorder,
+                )
             })
             .expect("spawn site thread");
         self.sites.insert(addr, SiteHandle { tx, join });
@@ -628,6 +653,7 @@ fn site_loop(
     epoch: Instant,
     workers: usize,
     faults: Arc<FaultLayer>,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> OrganizingAgent {
     let my_addr = oa.addr;
     let queue = Arc::new(WorkQueue::new());
@@ -637,10 +663,14 @@ fn site_loop(
         let db = oa.shared_db();
         let qeg = oa.qeg();
         let tx = self_tx.clone();
+        let rec = recorder.clone();
         let join = std::thread::Builder::new()
             .name(format!("oa-{}-w{}", my_addr.0, i))
             .spawn(move || {
-                while let Some(task) = q.pop() {
+                while let Some((task, wait)) = q.pop() {
+                    if let Some(reg) = rec.as_ref().and_then(|r| r.registry()) {
+                        reg.histogram(my_addr.0, "live.read_queue_wait").observe(wait);
+                    }
                     let done = {
                         let db = db.read();
                         perform_read(&task, &qeg, &db)
@@ -654,6 +684,11 @@ fn site_loop(
         worker_joins.push(join);
     }
     drop(self_tx);
+    let note_depth = |depth: usize| {
+        if let Some(reg) = recorder.as_ref().and_then(|r| r.registry()) {
+            reg.histogram(my_addr.0, "live.read_queue_depth").observe(depth as f64);
+        }
+    };
 
     loop {
         // With retries armed, sleep only until the next ask deadline and
@@ -697,7 +732,7 @@ fn site_loop(
                 };
                 route_all(my_addr, oc.out, &senders, &replies, &faults);
                 for t in oc.tasks {
-                    queue.push(t);
+                    note_depth(queue.push(t));
                 }
             }
             Envelope::Done(d) => {
@@ -707,7 +742,7 @@ fn site_loop(
                 };
                 route_all(my_addr, oc.out, &senders, &replies, &faults);
                 for t in oc.tasks {
-                    queue.push(t);
+                    note_depth(queue.push(t));
                 }
             }
             Envelope::Stop => {
@@ -753,6 +788,9 @@ fn site_loop(
     for j in worker_joins {
         let _ = j.join();
     }
+    // Final counter export: after this the registry holds the site's whole
+    // story even though the agent itself is about to be handed back.
+    oa.publish_metrics();
     oa
 }
 

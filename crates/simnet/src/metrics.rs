@@ -1,35 +1,11 @@
 //! Shared measurement helpers.
+//!
+//! Percentile math lives in [`irisobs`] now (the old nearest-rank `round()`
+//! estimator here was biased — p99 collapsed onto the max below ~50
+//! samples); this module re-exports it so existing `simnet::Percentiles`
+//! users are unaffected, and keeps the throughput binning.
 
-/// Latency percentiles in seconds.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Percentiles {
-    pub p50: f64,
-    pub p90: f64,
-    pub p99: f64,
-    pub mean: f64,
-    pub count: usize,
-}
-
-/// Computes latency percentiles from raw samples (empty input yields
-/// zeroed percentiles with `count == 0`).
-pub fn latency_percentiles(samples: &[f64]) -> Percentiles {
-    if samples.is_empty() {
-        return Percentiles { p50: 0.0, p90: 0.0, p99: 0.0, mean: 0.0, count: 0 };
-    }
-    let mut v: Vec<f64> = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let pick = |q: f64| {
-        let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
-        v[idx]
-    };
-    Percentiles {
-        p50: pick(0.50),
-        p90: pick(0.90),
-        p99: pick(0.99),
-        mean: v.iter().sum::<f64>() / v.len() as f64,
-        count: v.len(),
-    }
-}
+pub use irisobs::{latency_percentiles, quantile_sorted, Percentiles};
 
 /// Buckets completion timestamps into `window`-second bins, returning
 /// `(window start, completions per second)` pairs covering `[0, horizon)`.
@@ -58,9 +34,10 @@ mod tests {
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let p = latency_percentiles(&samples);
         assert_eq!(p.count, 100);
-        assert!((p.p50 - 50.0).abs() <= 1.0);
-        assert!((p.p90 - 90.0).abs() <= 1.0);
-        assert!((p.p99 - 99.0).abs() <= 1.0);
+        // Exact interpolated values (R-7), not the old rounded ranks.
+        assert!((p.p50 - 50.5).abs() < 1e-12);
+        assert!((p.p90 - 90.1).abs() < 1e-12);
+        assert!((p.p99 - 99.01).abs() < 1e-12);
         assert!((p.mean - 50.5).abs() < 1e-9);
     }
 

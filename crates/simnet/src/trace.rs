@@ -80,12 +80,21 @@ impl Trace {
         Trace::default()
     }
 
-    /// Records one handled message.
+    /// Records one handled message. A [`Message::SubQueryBatch`] counts as
+    /// its member subqueries — the batch is a wire-level coalescing, and
+    /// the experiments (messages-per-query, Fig. 11's communication
+    /// breakdown) reason about *logical* subqueries; counting a 5-entry
+    /// batch as 1 understated exactly the savings batching is meant to
+    /// show.
     pub fn record(&mut self, site: SiteAddr, msg: &Message, service_time: f64) {
+        let logical = match msg {
+            Message::SubQueryBatch { entries, .. } => entries.len() as u64,
+            _ => 1,
+        };
         let entry = self.sites.entry(site).or_default();
-        *entry.counts.entry(MsgClass::of(msg)).or_insert(0) += 1;
+        *entry.counts.entry(MsgClass::of(msg)).or_insert(0) += logical;
         entry.service_time += service_time;
-        self.total_messages += 1;
+        self.total_messages += logical;
     }
 
     /// Accounting for one site.
@@ -159,6 +168,29 @@ mod tests {
         assert_eq!(t.total_of(MsgClass::SubQuery), 0);
         let s1 = t.site(SiteAddr(1)).unwrap();
         assert!((s1.service_time - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subquery_batch_counts_member_entries() {
+        let mut t = Trace::new();
+        t.record(
+            SiteAddr(1),
+            &Message::SubQueryBatch {
+                entries: vec![(1, "/a".into()), (2, "/b".into()), (3, "/c".into())],
+                reply_to: SiteAddr(2),
+            },
+            0.06,
+        );
+        t.record(
+            SiteAddr(1),
+            &Message::SubQuery { qid: 4, text: "/d".into(), reply_to: SiteAddr(2) },
+            0.02,
+        );
+        // 3 logical subqueries in the batch + 1 plain one.
+        assert_eq!(t.total_of(MsgClass::SubQuery), 4);
+        assert_eq!(t.total_messages, 4);
+        // Service time still accrues per wire message.
+        assert!((t.site(SiteAddr(1)).unwrap().service_time - 0.08).abs() < 1e-12);
     }
 
     #[test]
