@@ -15,7 +15,7 @@
 
 use irisnet_bench::runner::{paper_costs, run_throughput};
 use irisnet_bench::{build_cluster, Arch, DbParams, ParkingDb, QueryType, Workload};
-use irisnet_core::{CacheMode, OaConfig};
+use irisnet_core::{CacheBudget, CacheMode, EvictionPolicy, OaConfig};
 use simnet::ClientLoad;
 
 const DURATION: f64 = 60.0;
@@ -44,7 +44,138 @@ fn run_one(cfg: OaConfig, doc_scan_cpu: f64, mk: impl FnOnce(&ParkingDb) -> Work
     res.qps
 }
 
+/// PR 6 — fixed-memory-budget sweep: hit rate, evictions and latency vs
+/// node budget for each bounded eviction policy, under a Zipf-skewed
+/// QW-Mix (the multi-site T3/T4 queries concentrate on the hot
+/// neighborhoods, so a budget that holds the hot set keeps the hit rate).
+///
+/// Emits JSON (for `BENCH_PR6.json`) to the path given after
+/// `--budget-sweep`, or stdout-only when omitted. Duration/warmup are
+/// env-tunable (`CACHE_SWEEP_DURATION`, `CACHE_SWEEP_WARMUP`) so the
+/// smoke script can run a short pass.
+fn budget_sweep(out_path: Option<&str>) {
+    let duration: f64 = std::env::var("CACHE_SWEEP_DURATION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DURATION);
+    let warmup: f64 = std::env::var("CACHE_SWEEP_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or((duration / 3.0).min(WARMUP));
+    let zipf_s = 1.1;
+
+    type PolicyMk = Box<dyn Fn(CacheBudget) -> EvictionPolicy>;
+    let policies: Vec<(&str, PolicyMk)> = vec![
+        ("lru", Box::new(|b| EvictionPolicy::Lru { budget: b })),
+        ("heat", Box::new(|b| EvictionPolicy::HeatWeighted { budget: b })),
+        (
+            "segment",
+            Box::new(|b| EvictionPolicy::SegmentAge { budget: b, max_age: f64::INFINITY }),
+        ),
+    ];
+    // Node budgets per site. A block unit is ~81 nodes, a neighborhood
+    // ~1621, so the sweep spans "a couple of blocks" to "several
+    // neighborhoods"; 0 = unlimited (KeepForever-equivalent occupancy).
+    let budgets: [usize; 4] = [160, 640, 2560, 10240];
+
+    println!("== PR 6: cache budget sweep (QW-Mix, zipf s={zipf_s}, {duration}s) ==\n");
+    println!(
+        "{:<10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8} {:>9} {:>9}",
+        "Policy", "budget", "qps", "hit_rate", "hits", "misses", "evict", "p50_ms", "p99_ms"
+    );
+    println!("{}", "-".repeat(88));
+
+    let mut rows = Vec::new();
+    for (pname, mk_policy) in &policies {
+        for &budget in &budgets {
+            let db = ParkingDb::generate(DbParams::small(), 1);
+            let cfg = OaConfig {
+                cache: CacheMode::Aggressive,
+                cache_hit_prob: 1.0,
+                eviction: mk_policy(CacheBudget::nodes(budget)),
+                ..OaConfig::default()
+            };
+            let mut built = build_cluster(Arch::Hierarchical, &db, paper_costs(), cfg, 9);
+            let mut w = Workload::qw_mix(&db, 45).with_zipf(zipf_s);
+            built.sim.set_client_load(ClientLoad {
+                clients: 48,
+                think_time: 0.02,
+                query_gen: Box::new(move |_| w.next_query()),
+            });
+            let res = run_throughput(&mut built.sim, duration, warmup);
+            assert!(res.error_rate < 0.01, "error rate {}", res.error_rate);
+            let cs = built.sim.cache_stats_total();
+            println!(
+                "{:<10} {:>8} {:>8.1} {:>9.3} {:>9} {:>9} {:>8} {:>9.1} {:>9.1}",
+                pname,
+                budget,
+                res.qps,
+                cs.hit_rate(),
+                cs.hits,
+                cs.misses,
+                cs.evictions,
+                res.latency.p50 * 1e3,
+                res.latency.p99 * 1e3,
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"policy\": \"{}\", \"budget_nodes\": {}, \"qps\": {:.1}, ",
+                    "\"hit_rate\": {:.4}, \"hits\": {}, \"partial_matches\": {}, ",
+                    "\"misses\": {}, \"evictions\": {}, \"admission_rejects\": {}, ",
+                    "\"sweeps\": {}, \"sweep_examined\": {}, ",
+                    "\"p50_ms\": {:.2}, \"p99_ms\": {:.2}}}"
+                ),
+                pname,
+                budget,
+                res.qps,
+                cs.hit_rate(),
+                cs.hits,
+                cs.partial_matches,
+                cs.misses,
+                cs.evictions,
+                cs.admission_rejects,
+                cs.sweeps,
+                cs.sweep_examined,
+                res.latency.p50 * 1e3,
+                res.latency.p99 * 1e3,
+            ));
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n  \"generated_by\": \"exp_caching --budget-sweep\",\n",
+            "  \"workload\": \"QW-Mix, 48 closed-loop clients, zipf s={} over ",
+            "(city,neighborhood) ranks\",\n",
+            "  \"cluster\": \"Architecture 4 (hierarchical), 9 sites, small db (2400 spaces)\",\n",
+            "  \"duration_s\": {}, \"warmup_s\": {},\n",
+            "  \"budget_units\": \"stored local-information nodes per site\",\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        zipf_s,
+        duration,
+        warmup,
+        rows.join(",\n")
+    );
+    if let Some(path) = out_path {
+        std::fs::write(path, &json).expect("write sweep json");
+        println!("\nwrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--budget-sweep") {
+        let out = args
+            .iter()
+            .position(|a| a == "--budget-sweep")
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str());
+        budget_sweep(out);
+        return;
+    }
     let configs: Vec<(&str, OaConfig)> = vec![
         ("No caching", config(CacheMode::Off, 1.0)),
         ("Caching, 0% hits", config(CacheMode::Aggressive, 0.0)),

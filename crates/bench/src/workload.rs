@@ -52,6 +52,9 @@ pub struct Workload {
     rng: SmallRng,
     mix: Vec<(QueryType, f64)>,
     skew: Option<Skew>,
+    /// Rank-based CDF over (city, neighborhood) pairs; when set, type 1/2
+    /// targets are drawn Zipf-distributed instead of uniformly.
+    zipf_cdf: Option<Vec<f64>>,
     cities: usize,
     neighborhoods: usize,
     blocks: usize,
@@ -64,6 +67,7 @@ impl Workload {
             rng: SmallRng::seed_from_u64(seed),
             mix,
             skew: None,
+            zipf_cdf: None,
             cities: db.params.cities,
             neighborhoods: db.params.neighborhoods_per_city,
             blocks: db.params.blocks_per_neighborhood,
@@ -107,6 +111,35 @@ impl Workload {
         self
     }
 
+    /// Zipf-distributes type 1/2 neighborhood targets with exponent `s`.
+    ///
+    /// Neighborhoods are ranked in row-major (city, neighborhood) order,
+    /// rank `k` drawn with probability `∝ 1/k^s` — the smooth popularity
+    /// curve the cache-budget experiments sweep, in contrast to
+    /// [`Workload::with_skew`]'s single hot spot. `s = 0` degenerates to
+    /// uniform; takes precedence over `with_skew` when both are set.
+    pub fn with_zipf(mut self, s: f64) -> Workload {
+        let n = self.cities * self.neighborhoods;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        self.zipf_cdf = Some(cdf);
+        self
+    }
+
+    fn draw_zipf_rank(&mut self) -> Option<usize> {
+        self.zipf_cdf.as_ref()?;
+        let x: f64 = self.rng.random_range(0.0..1.0);
+        let cdf = self.zipf_cdf.as_ref().unwrap();
+        Some(cdf.partition_point(|&p| p < x).min(cdf.len() - 1))
+    }
+
     fn draw_type(&mut self) -> QueryType {
         let x: f64 = self.rng.random_range(0.0..1.0);
         let mut acc = 0.0;
@@ -120,6 +153,9 @@ impl Workload {
     }
 
     fn draw_neighborhood(&mut self) -> (usize, usize) {
+        if let Some(rank) = self.draw_zipf_rank() {
+            return (rank / self.neighborhoods, rank % self.neighborhoods);
+        }
         if let Some(s) = self.skew {
             if self.rng.random_bool(s.fraction) {
                 return (s.city, s.neighborhood);
@@ -174,8 +210,18 @@ impl Workload {
                 )
             }
             QueryType::T3 => {
-                let ci = self.rng.random_range(0..self.cities);
-                let n1 = self.rng.random_range(0..self.neighborhoods) + 1;
+                // Under a Zipf popularity curve the first neighborhood is
+                // drawn from it, so the multi-site (cacheable) queries
+                // concentrate on the hot set like the single-site ones.
+                let (ci, n1) = if self.zipf_cdf.is_some() {
+                    let (c, n) = self.draw_neighborhood();
+                    (c, n + 1)
+                } else {
+                    (
+                        self.rng.random_range(0..self.cities),
+                        self.rng.random_range(0..self.neighborhoods) + 1,
+                    )
+                };
                 let mut n2 = self.rng.random_range(0..self.neighborhoods) + 1;
                 if n2 == n1 {
                     n2 = n1 % self.neighborhoods + 1;
@@ -190,12 +236,19 @@ impl Workload {
                 )
             }
             QueryType::T4 => {
-                let c1 = self.rng.random_range(0..self.cities);
+                let (c1, n) = if self.zipf_cdf.is_some() {
+                    let (c, n) = self.draw_neighborhood();
+                    (c, n + 1)
+                } else {
+                    (
+                        self.rng.random_range(0..self.cities),
+                        self.rng.random_range(0..self.neighborhoods) + 1,
+                    )
+                };
                 let mut c2 = self.rng.random_range(0..self.cities);
                 if c2 == c1 {
                     c2 = (c1 + 1) % self.cities;
                 }
-                let n = self.rng.random_range(0..self.neighborhoods) + 1;
                 let b = self.rng.random_range(0..self.blocks) + 1;
                 format!(
                     "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']\
@@ -298,6 +351,39 @@ mod tests {
         }
         // 90% skew plus ~1/6 of the uniform remainder.
         assert!(hits > 850, "hits: {hits}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_ranks() {
+        let db = db();
+        let mut w = Workload::uniform(&db, QueryType::T1, 42).with_zipf(1.2);
+        let mut rank0 = 0;
+        for _ in 0..1000 {
+            let q = w.next_query_of(QueryType::T1);
+            if q.contains("city[@id='Pittsburgh']/neighborhood[@id='n1']") {
+                rank0 += 1;
+            }
+        }
+        // Rank 1 of a 1.2-exponent Zipf over the small db's neighborhoods
+        // should draw well over a third of the traffic; uniform would get
+        // ~1/6th.
+        assert!(rank0 > 350, "rank-0 draws: {rank0}");
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let db = db();
+        let mut w = Workload::uniform(&db, QueryType::T1, 7).with_zipf(0.0);
+        let mut rank0 = 0;
+        for _ in 0..1200 {
+            let q = w.next_query_of(QueryType::T1);
+            if q.contains("city[@id='Pittsburgh']/neighborhood[@id='n1']") {
+                rank0 += 1;
+            }
+        }
+        let n = (db.params.cities * db.params.neighborhoods_per_city) as f64;
+        let expect = 1200.0 / n;
+        assert!((rank0 as f64 - expect).abs() < expect * 0.5, "rank-0 draws: {rank0}");
     }
 
     #[test]

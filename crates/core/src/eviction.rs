@@ -1,45 +1,330 @@
-//! Cache management policies (§3.3).
+//! Bounded partial-state cache management (§3.3).
 //!
 //! The paper's prototype "never removes cached data, but only replaces it
 //! if a fresh copy of the same data is available" and leaves richer cache
-//! management to future work. This module provides that future work: a
-//! size-budgeted LRU over *cached units* (the subtrees that arrived via
-//! fragment merges) and a TTL sweep, both of which evict strictly in units
-//! of local information, preserving C1/C2 by construction (eviction
-//! demotes a unit to an `incomplete` ID stub via
-//! [`SiteDatabase::evict`]).
+//! management to future work. This module provides that future work as a
+//! *bounded partial-state plane*: cached units (the subtrees that arrived
+//! via fragment merges) are tracked in an intrusive doubly-linked LRU list
+//! plus an admission-order list, with per-unit decayed heat counters and
+//! per-unit size accounting ([`crate::fragment::UnitCost`]) against a
+//! per-site budget expressed in local-information nodes and/or bytes.
+//!
+//! Every bookkeeping operation ([`CacheManager::note_cached`],
+//! [`CacheManager::note_query`]) is O(1) amortized — intrusive list splices
+//! plus a frequency-sketch bump — so nothing here ever belongs on the read
+//! path. Enforcement ([`CacheManager::enforce`]) is a budget-triggered
+//! sweep whose cost is O(evicted): victims come off the cold end of the
+//! appropriate list (recency order for LRU, admission order for TTL and
+//! segment-age, a bounded cold-end sample for the heat-weighted policy),
+//! never from a full scan. The agent runs the sweep on the owner loop at
+//! quiescent points only, so user queries — cache hits in particular —
+//! perform zero eviction work.
+//!
+//! A TinyLFU-style admission filter guards budgeted policies: when caching
+//! a new unit would overflow the budget, the unit is admitted only if its
+//! sketch-estimated request frequency is at least that of the would-be
+//! victim. One-off scans therefore cannot displace hot neighborhoods; the
+//! rejected unit itself is demoted at the next sweep instead.
+//!
+//! Eviction always demotes a unit to an `incomplete` ID stub via
+//! [`SiteDatabase::evict`], so C1/C2 hold by construction and a later miss
+//! drives the paper's refill-by-subquery machinery exactly as a cold cache
+//! would.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
-use crate::fragment::{SiteDatabase, Status};
+use irisobs::Counter;
+
+use crate::fragment::{SiteDatabase, Status, UnitCost};
 use crate::idable::IdPath;
 
-/// When to evict cached units.
+/// Half-life (seconds) of the per-unit heat counter: a unit untouched for
+/// one half-life counts half as hot. Chosen so heat is meaningful both at
+/// test timescales (seconds) and bench runs (minutes of virtual time).
+const HEAT_HALF_LIFE: f64 = 120.0;
+
+/// Cold-end sample size for the heat-weighted policy: the victim is the
+/// worst-scoring of up to this many least-recently-used entries, keeping
+/// each eviction O(1) instead of a full scan.
+const HEAT_SAMPLE: usize = 8;
+
+const NIL: usize = usize::MAX;
+
+/// A per-site cache budget in units of local information. A zero axis is
+/// unlimited; a budget with both axes zero never triggers eviction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheBudget {
+    /// Maximum stored nodes across all cached (non-owned) units.
+    pub max_nodes: usize,
+    /// Maximum approximate bytes across all cached units.
+    pub max_bytes: usize,
+}
+
+impl CacheBudget {
+    /// A node-count budget (bytes unlimited).
+    pub fn nodes(max_nodes: usize) -> CacheBudget {
+        CacheBudget { max_nodes, max_bytes: 0 }
+    }
+
+    /// A byte budget (nodes unlimited).
+    pub fn bytes(max_bytes: usize) -> CacheBudget {
+        CacheBudget { max_nodes: 0, max_bytes }
+    }
+
+    /// No limit on either axis.
+    pub fn unlimited() -> CacheBudget {
+        CacheBudget { max_nodes: 0, max_bytes: 0 }
+    }
+
+    fn exceeded_by(&self, nodes: usize, bytes: usize) -> bool {
+        (self.max_nodes != 0 && nodes > self.max_nodes)
+            || (self.max_bytes != 0 && bytes > self.max_bytes)
+    }
+}
+
+/// When — and in what order — to evict cached units.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EvictionPolicy {
     /// The paper's prototype policy: cache forever, replace on refresh.
     KeepForever,
-    /// Evict least-recently-used units once the fragment document exceeds
-    /// `max_nodes` stored nodes.
-    Lru { max_nodes: usize },
-    /// Evict units older (since last touch) than `max_age` seconds.
+    /// Evict units whose *data* is older than `max_age` seconds (age runs
+    /// from the merge that brought the copy in; a refresh resets it).
     Ttl { max_age: f64 },
+    /// Evict least-recently-used units once the budget is exceeded.
+    Lru { budget: CacheBudget },
+    /// Evict cold-large units first: the victim minimizes
+    /// decayed-heat / size over a bounded cold-end sample.
+    HeatWeighted { budget: CacheBudget },
+    /// Segment-age: units are evicted strictly in admission order (oldest
+    /// data first) when over budget, and unconditionally once older than
+    /// `max_age` (use `f64::INFINITY` for a pure FIFO-by-admission cap).
+    SegmentAge { budget: CacheBudget, max_age: f64 },
+}
+
+impl EvictionPolicy {
+    /// The budget this policy enforces, if any.
+    pub fn budget(&self) -> Option<CacheBudget> {
+        match *self {
+            EvictionPolicy::KeepForever | EvictionPolicy::Ttl { .. } => None,
+            EvictionPolicy::Lru { budget }
+            | EvictionPolicy::HeatWeighted { budget }
+            | EvictionPolicy::SegmentAge { budget, .. } => Some(budget),
+        }
+    }
+
+    /// The data-age cap this policy enforces, if any.
+    fn max_age(&self) -> Option<f64> {
+        match *self {
+            EvictionPolicy::Ttl { max_age } => Some(max_age),
+            EvictionPolicy::SegmentAge { max_age, .. } if max_age.is_finite() => Some(max_age),
+            _ => None,
+        }
+    }
+}
+
+/// One tracked cached unit: a slab slot threaded onto two intrusive lists
+/// (recency order and admission order).
+#[derive(Debug, Clone)]
+struct Entry {
+    path: IdPath,
+    /// Recency list (head = most recently touched).
+    lru_prev: usize,
+    lru_next: usize,
+    /// Admission-order list (head = most recently admitted/refreshed).
+    seg_prev: usize,
+    seg_next: usize,
+    /// Exponentially-decayed touch count as of `last_touch`.
+    heat: f64,
+    last_touch: f64,
+    /// When this copy of the data was merged (refreshed on re-cache).
+    admitted_at: f64,
+    nodes: usize,
+    bytes: usize,
+}
+
+/// Snapshot of the cache plane's counters and occupancy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// First-pass user queries fully answered from the cached view.
+    pub hits: u64,
+    /// First-pass user queries partially answered (asks strictly below
+    /// the query LCA).
+    pub partial_matches: u64,
+    /// First-pass user queries the cache contributed nothing to.
+    pub misses: u64,
+    /// Units demoted to incomplete stubs by policy sweeps.
+    pub evictions: u64,
+    /// Units denied admission by the TinyLFU filter.
+    pub admission_rejects: u64,
+    /// Enforcement sweeps that performed any work.
+    pub sweeps: u64,
+    /// Entries examined across all sweeps (the amortization witness:
+    /// bounded by a constant times evictions + rejects).
+    pub sweep_examined: u64,
+    /// Currently tracked cached units.
+    pub tracked: usize,
+    /// Total stored nodes across tracked units.
+    pub cached_nodes: usize,
+    /// Total approximate bytes across tracked units.
+    pub cached_bytes: usize,
+}
+
+impl CacheStats {
+    /// Element-wise accumulation (for cluster-wide aggregates).
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.partial_matches += other.partial_matches;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.admission_rejects += other.admission_rejects;
+        self.sweeps += other.sweeps;
+        self.sweep_examined += other.sweep_examined;
+        self.tracked += other.tracked;
+        self.cached_nodes += other.cached_nodes;
+        self.cached_bytes += other.cached_bytes;
+    }
+
+    /// Fraction of first-pass user queries fully served by the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.partial_matches + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A 4-hash count-min sketch with saturating 4-bit-style counters and
+/// periodic halving — the TinyLFU frequency estimator behind admission.
+#[derive(Debug)]
+struct FreqSketch {
+    counters: Vec<u8>,
+    mask: usize,
+    samples: u32,
+    sample_cap: u32,
+}
+
+impl FreqSketch {
+    fn new() -> FreqSketch {
+        let size = 4096;
+        FreqSketch { counters: vec![0; size], mask: size - 1, samples: 0, sample_cap: 4 * size as u32 }
+    }
+
+    fn slots(&self, h: u64) -> [usize; 4] {
+        let mut out = [0usize; 4];
+        let mut x = h | 1;
+        for slot in &mut out {
+            // SplitMix64-style remix per probe; deterministic everywhere.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = (z ^ (z >> 31)) as usize & self.mask;
+        }
+        out
+    }
+
+    fn bump(&mut self, h: u64) {
+        for i in self.slots(h) {
+            let c = &mut self.counters[i];
+            if *c < 15 {
+                *c += 1;
+            }
+        }
+        self.samples += 1;
+        if self.samples >= self.sample_cap {
+            for c in &mut self.counters {
+                *c >>= 1;
+            }
+            self.samples /= 2;
+        }
+    }
+
+    fn estimate(&self, h: u64) -> u8 {
+        self.slots(h).into_iter().map(|i| self.counters[i]).min().unwrap_or(0)
+    }
+}
+
+fn path_hash(p: &IdPath) -> u64 {
+    // DefaultHasher has fixed keys: deterministic across runs and between
+    // the DES and live substrates (required for answer equivalence).
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    p.hash(&mut h);
+    h.finish()
 }
 
 /// Tracks cached units (root paths of merged fragments) and applies the
-/// policy against a site database.
+/// eviction policy against a site database. All bookkeeping is O(1)
+/// amortized; the sweep is O(evicted).
 #[derive(Debug)]
 pub struct CacheManager {
     policy: EvictionPolicy,
-    /// Cached unit → last touch time.
-    units: HashMap<IdPath, f64>,
-    pub evictions: u64,
+    admission_enabled: bool,
+    sketch: FreqSketch,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    index: HashMap<IdPath, usize>,
+    lru_head: usize,
+    lru_tail: usize,
+    seg_head: usize,
+    seg_tail: usize,
+    cached_nodes: usize,
+    cached_bytes: usize,
+    /// Units denied admission, queued for demotion at the next sweep
+    /// (their data was already merged to answer the triggering query).
+    rejected: Vec<IdPath>,
+    // The single, irisobs-backed home of the cache counters; the agent
+    // mirrors them into the metrics registry via `publish_metrics`.
+    hits: Counter,
+    partial_matches: Counter,
+    misses: Counter,
+    evictions: Counter,
+    admission_rejects: Counter,
+    sweeps: Counter,
+    sweep_examined: Counter,
+}
+
+/// §3.2 first-pass outcome of the cached view for one user query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    Hit,
+    PartialMatch,
+    Miss,
 }
 
 impl CacheManager {
-    /// Creates a manager with the given policy.
+    /// Creates a manager with the given policy. The admission filter
+    /// defaults to on (it only ever engages for budgeted policies).
     pub fn new(policy: EvictionPolicy) -> CacheManager {
-        CacheManager { policy, units: HashMap::new(), evictions: 0 }
+        CacheManager {
+            policy,
+            admission_enabled: true,
+            sketch: FreqSketch::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            lru_head: NIL,
+            lru_tail: NIL,
+            seg_head: NIL,
+            seg_tail: NIL,
+            cached_nodes: 0,
+            cached_bytes: 0,
+            rejected: Vec::new(),
+            hits: Counter::new(),
+            partial_matches: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            admission_rejects: Counter::new(),
+            sweeps: Counter::new(),
+            sweep_examined: Counter::new(),
+        }
+    }
+
+    /// Enables or disables the TinyLFU admission filter.
+    pub fn set_admission(&mut self, enabled: bool) {
+        self.admission_enabled = enabled;
     }
 
     /// The active policy.
@@ -47,69 +332,330 @@ impl CacheManager {
         self.policy
     }
 
+    /// True under the paper's prototype policy (track, never evict).
+    pub fn is_keep_forever(&self) -> bool {
+        matches!(self.policy, EvictionPolicy::KeepForever)
+    }
+
     /// Number of tracked cached units.
     pub fn tracked(&self) -> usize {
-        self.units.len()
+        self.index.len()
     }
 
-    /// Records that a fragment rooted at `unit` was cached (or refreshed).
-    pub fn note_cached(&mut self, unit: IdPath, now: f64) {
-        self.units.insert(unit, now);
+    /// Paths of every tracked cached unit, unordered (audit/test hook).
+    pub fn tracked_paths(&self) -> Vec<IdPath> {
+        self.index.keys().cloned().collect()
     }
 
-    /// Records that a query used the cached data under `unit`.
-    pub fn note_used(&mut self, unit: &IdPath, now: f64) {
-        if let Some(t) = self.units.get_mut(unit) {
-            *t = now;
+    /// Counter snapshot plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            partial_matches: self.partial_matches.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            admission_rejects: self.admission_rejects.get(),
+            sweeps: self.sweeps.get(),
+            sweep_examined: self.sweep_examined.get(),
+            tracked: self.index.len(),
+            cached_nodes: self.cached_nodes,
+            cached_bytes: self.cached_bytes,
         }
     }
 
-    /// Applies the policy, evicting from `db` as needed. Returns the paths
-    /// evicted. Owned data is never touched ([`SiteDatabase::evict`]
-    /// refuses it, and owned units are not tracked to begin with).
-    pub fn enforce(&mut self, db: &mut SiteDatabase, now: f64) -> Vec<IdPath> {
-        // Drop tracking for units that no longer exist or got promoted.
-        self.units.retain(|p, _| {
-            matches!(db.status_at(p), Some(Status::Complete | Status::IdComplete))
-        });
-        let mut evicted = Vec::new();
+    // ------------------------------------------------------------------
+    // Intrusive list plumbing
+    // ------------------------------------------------------------------
+
+    fn lru_unlink(&mut self, i: usize) {
+        let (p, n) = (self.slab[i].lru_prev, self.slab[i].lru_next);
+        match p {
+            NIL => self.lru_head = n,
+            p => self.slab[p].lru_next = n,
+        }
+        match n {
+            NIL => self.lru_tail = p,
+            n => self.slab[n].lru_prev = p,
+        }
+        self.slab[i].lru_prev = NIL;
+        self.slab[i].lru_next = NIL;
+    }
+
+    fn lru_push_front(&mut self, i: usize) {
+        self.slab[i].lru_prev = NIL;
+        self.slab[i].lru_next = self.lru_head;
+        match self.lru_head {
+            NIL => self.lru_tail = i,
+            h => self.slab[h].lru_prev = i,
+        }
+        self.lru_head = i;
+    }
+
+    fn seg_unlink(&mut self, i: usize) {
+        let (p, n) = (self.slab[i].seg_prev, self.slab[i].seg_next);
+        match p {
+            NIL => self.seg_head = n,
+            p => self.slab[p].seg_next = n,
+        }
+        match n {
+            NIL => self.seg_tail = p,
+            n => self.slab[n].seg_prev = p,
+        }
+        self.slab[i].seg_prev = NIL;
+        self.slab[i].seg_next = NIL;
+    }
+
+    fn seg_push_front(&mut self, i: usize) {
+        self.slab[i].seg_prev = NIL;
+        self.slab[i].seg_next = self.seg_head;
+        match self.seg_head {
+            NIL => self.seg_tail = i,
+            h => self.slab[h].seg_prev = i,
+        }
+        self.seg_head = i;
+    }
+
+    fn decayed_heat(&self, i: usize, now: f64) -> f64 {
+        let e = &self.slab[i];
+        let age = (now - e.last_touch).max(0.0);
+        e.heat * 0.5f64.powf(age / HEAT_HALF_LIFE)
+    }
+
+    fn touch(&mut self, i: usize, now: f64) {
+        let heat = self.decayed_heat(i, now) + 1.0;
+        let e = &mut self.slab[i];
+        e.heat = heat;
+        e.last_touch = now;
+        if self.lru_head != i {
+            self.lru_unlink(i);
+            self.lru_push_front(i);
+        }
+    }
+
+    /// Removes entry `i` from all structures, returning its path.
+    fn remove_entry(&mut self, i: usize) -> IdPath {
+        self.lru_unlink(i);
+        self.seg_unlink(i);
+        let e = &self.slab[i];
+        self.cached_nodes = self.cached_nodes.saturating_sub(e.nodes);
+        self.cached_bytes = self.cached_bytes.saturating_sub(e.bytes);
+        let path = e.path.clone();
+        self.index.remove(&path);
+        self.free.push(i);
+        path
+    }
+
+    // ------------------------------------------------------------------
+    // Bookkeeping (mutation path, O(1) amortized)
+    // ------------------------------------------------------------------
+
+    /// Records that a fragment rooted at `unit` of size `cost` was merged
+    /// (cached or refreshed). Returns `false` when the admission filter
+    /// rejects the unit — it stays merged for the triggering query but is
+    /// queued for demotion at the next sweep.
+    pub fn note_cached(&mut self, unit: IdPath, cost: UnitCost, now: f64) -> bool {
+        let h = path_hash(&unit);
+        self.sketch.bump(h);
+        if let Some(&i) = self.index.get(&unit) {
+            // Refresh: re-account size, restamp the data age, touch.
+            let e = &mut self.slab[i];
+            self.cached_nodes = self.cached_nodes - e.nodes + cost.nodes;
+            self.cached_bytes = self.cached_bytes - e.bytes + cost.bytes;
+            e.nodes = cost.nodes;
+            e.bytes = cost.bytes;
+            e.admitted_at = now;
+            self.touch(i, now);
+            if self.seg_head != i {
+                self.seg_unlink(i);
+                self.seg_push_front(i);
+            }
+            return true;
+        }
+        if let Some(budget) = self.policy.budget() {
+            let would_exceed = budget
+                .exceeded_by(self.cached_nodes + cost.nodes, self.cached_bytes + cost.bytes);
+            if self.admission_enabled && would_exceed {
+                if let Some(v) = self.victim_candidate(now) {
+                    let victim_freq = self.sketch.estimate(path_hash(&self.slab[v].path));
+                    if self.sketch.estimate(h) < victim_freq {
+                        self.admission_rejects.inc();
+                        self.rejected.push(unit);
+                        return false;
+                    }
+                }
+            }
+        }
+        let entry = Entry {
+            path: unit.clone(),
+            lru_prev: NIL,
+            lru_next: NIL,
+            seg_prev: NIL,
+            seg_next: NIL,
+            heat: 1.0,
+            last_touch: now,
+            admitted_at: now,
+            nodes: cost.nodes,
+            bytes: cost.bytes,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(unit, i);
+        self.cached_nodes += cost.nodes;
+        self.cached_bytes += cost.bytes;
+        self.lru_push_front(i);
+        self.seg_push_front(i);
+        true
+    }
+
+    /// Records that a query with the given LCA consulted the cached view:
+    /// bumps the demand sketch and touches the tracked unit covering the
+    /// LCA, walking at most the hierarchy depth (O(1) for our schemas).
+    pub fn note_query(&mut self, lca: &IdPath, now: f64) {
+        self.sketch.bump(path_hash(lca));
+        let mut cur = Some(lca.clone());
+        while let Some(p) = cur {
+            if let Some(&i) = self.index.get(&p) {
+                self.touch(i, now);
+                return;
+            }
+            cur = p.parent();
+        }
+    }
+
+    /// Records the §3.2 first-pass outcome of one user query.
+    pub fn record_lookup(&self, outcome: CacheLookup) {
+        match outcome {
+            CacheLookup::Hit => self.hits.inc(),
+            CacheLookup::PartialMatch => self.partial_matches.inc(),
+            CacheLookup::Miss => self.misses.inc(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Enforcement (owner loop, budget-triggered, O(evicted))
+    // ------------------------------------------------------------------
+
+    fn over_budget(&self) -> bool {
+        self.policy
+            .budget()
+            .is_some_and(|b| b.exceeded_by(self.cached_nodes, self.cached_bytes))
+    }
+
+    /// O(1) check: does [`CacheManager::enforce`] have any work to do?
+    pub fn needs_enforcement(&self, now: f64) -> bool {
+        if !self.rejected.is_empty() || self.over_budget() {
+            return true;
+        }
+        if let (Some(max_age), tail) = (self.policy.max_age(), self.seg_tail) {
+            if tail != NIL && now - self.slab[tail].admitted_at > max_age {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The entry the next eviction would remove, per policy, without
+    /// removing it. Used both by the sweep and by the admission filter.
+    fn victim_candidate(&self, now: f64) -> Option<usize> {
         match self.policy {
-            EvictionPolicy::KeepForever => {}
-            EvictionPolicy::Ttl { max_age } => {
-                let expired: Vec<IdPath> = self
-                    .units
-                    .iter()
-                    .filter(|(_, &t)| now - t > max_age)
-                    .map(|(p, _)| p.clone())
-                    .collect();
-                for p in expired {
-                    if db.evict(&p).is_ok() {
-                        self.units.remove(&p);
-                        self.evictions += 1;
-                        evicted.push(p);
-                    }
-                }
+            EvictionPolicy::KeepForever => None,
+            EvictionPolicy::Ttl { .. } | EvictionPolicy::SegmentAge { .. } => {
+                (self.seg_tail != NIL).then_some(self.seg_tail)
             }
-            EvictionPolicy::Lru { max_nodes } => {
-                while db.doc().reachable_count() > max_nodes && !self.units.is_empty() {
-                    let victim = self
-                        .units
-                        .iter()
-                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-                        .map(|(p, _)| p.clone())
-                        .expect("non-empty");
-                    self.units.remove(&victim);
-                    if db.evict(&victim).is_ok() {
-                        self.evictions += 1;
-                        evicted.push(victim);
+            EvictionPolicy::Lru { .. } => (self.lru_tail != NIL).then_some(self.lru_tail),
+            EvictionPolicy::HeatWeighted { .. } => {
+                let mut best: Option<(usize, f64)> = None;
+                let mut cur = self.lru_tail;
+                let mut seen = 0;
+                while cur != NIL && seen < HEAT_SAMPLE {
+                    let score =
+                        self.decayed_heat(cur, now) / self.slab[cur].nodes.max(1) as f64;
+                    if best.is_none_or(|(_, s)| score < s) {
+                        best = Some((cur, score));
                     }
+                    cur = self.slab[cur].lru_prev;
+                    seen += 1;
                 }
-                if db.doc().arena_len() > 2 * db.doc().reachable_count() {
-                    db.compact();
+                best.map(|(i, _)| i)
+            }
+        }
+    }
+
+    /// Demotes entry `i` in `db` (if it is still an evictable cached
+    /// unit) and drops it from tracking. Returns the path if the database
+    /// was actually changed.
+    fn evict_entry(&mut self, i: usize, db: &mut SiteDatabase) -> Option<IdPath> {
+        let path = self.remove_entry(i);
+        let evictable =
+            matches!(db.status_at(&path), Some(Status::Complete | Status::IdComplete));
+        if evictable && db.evict(&path).is_ok() {
+            self.evictions.inc();
+            Some(path)
+        } else {
+            // Promoted (e.g. ownership moved here) or already gone:
+            // silently untracked, never evicted.
+            None
+        }
+    }
+
+    /// Applies the policy, evicting from `db` as needed, and returns the
+    /// paths demoted. Cost is O(evicted + rejected): victims come off list
+    /// tails (or a bounded cold-end sample), never from a full scan. Call
+    /// from the owner loop at quiescent points — never on the read path.
+    pub fn enforce(&mut self, db: &mut SiteDatabase, now: f64) -> Vec<IdPath> {
+        if !self.needs_enforcement(now) {
+            return Vec::new();
+        }
+        self.sweeps.inc();
+        let mut out = Vec::new();
+        // 1. Demote units the admission filter turned away (unless they
+        //    earned admission since).
+        for p in std::mem::take(&mut self.rejected) {
+            self.sweep_examined.inc();
+            if self.index.contains_key(&p) {
+                continue;
+            }
+            if matches!(db.status_at(&p), Some(Status::Complete | Status::IdComplete))
+                && db.evict(&p).is_ok()
+            {
+                out.push(p);
+            }
+        }
+        // 2. Data-age cap (TTL / segment-age): oldest-admitted first.
+        if let Some(max_age) = self.policy.max_age() {
+            while self.seg_tail != NIL
+                && now - self.slab[self.seg_tail].admitted_at > max_age
+            {
+                self.sweep_examined.inc();
+                if let Some(p) = self.evict_entry(self.seg_tail, db) {
+                    out.push(p);
                 }
             }
         }
-        evicted
+        // 3. Budget sweep: evict cold-end victims until within budget.
+        while self.over_budget() && !self.index.is_empty() {
+            let Some(v) = self.victim_candidate(now) else { break };
+            self.sweep_examined.add(match self.policy {
+                EvictionPolicy::HeatWeighted { .. } => HEAT_SAMPLE.min(self.index.len()) as u64,
+                _ => 1,
+            });
+            if let Some(p) = self.evict_entry(v, db) {
+                out.push(p);
+            }
+        }
+        // 4. Reclaim arena garbage once eviction has created enough of it.
+        if db.doc().arena_len() > 2 * db.doc().reachable_count() {
+            db.compact();
+        }
+        out
     }
 }
 
@@ -143,12 +689,24 @@ mod tests {
         (owner, cache, blocks)
     }
 
-    fn fill(owner: &SiteDatabase, cache: &mut SiteDatabase, mgr: &mut CacheManager, blocks: &[IdPath], t0: f64) {
+    /// Merges each block into `cache` and tracks it with its real cost.
+    fn fill(
+        owner: &SiteDatabase,
+        cache: &mut SiteDatabase,
+        mgr: &mut CacheManager,
+        blocks: &[IdPath],
+        t0: f64,
+    ) {
         for (i, b) in blocks.iter().enumerate() {
             let frag = owner.export_subtrees(std::slice::from_ref(b)).unwrap();
             cache.merge_fragment(&frag).unwrap();
-            mgr.note_cached(b.clone(), t0 + i as f64);
+            let cost = cache.unit_cost(b).unwrap();
+            mgr.note_cached(b.clone(), cost, t0 + i as f64);
         }
+    }
+
+    fn unit_nodes(cache: &SiteDatabase, b: &IdPath) -> usize {
+        cache.unit_cost(b).unwrap().nodes
     }
 
     #[test]
@@ -156,6 +714,7 @@ mod tests {
         let (owner, mut cache, blocks) = setup();
         let mut mgr = CacheManager::new(EvictionPolicy::KeepForever);
         fill(&owner, &mut cache, &mut mgr, &blocks, 0.0);
+        assert!(!mgr.needs_enforcement(1e9));
         assert!(mgr.enforce(&mut cache, 1e9).is_empty());
         assert_eq!(mgr.tracked(), 3);
     }
@@ -164,37 +723,45 @@ mod tests {
     fn ttl_evicts_only_expired_units() {
         let (owner, mut cache, blocks) = setup();
         let mut mgr = CacheManager::new(EvictionPolicy::Ttl { max_age: 10.0 });
-        fill(&owner, &mut cache, &mut mgr, &blocks, 0.0); // touched at 0,1,2
+        fill(&owner, &mut cache, &mut mgr, &blocks, 0.0); // admitted at 0,1,2
+        assert!(mgr.needs_enforcement(11.5));
         let evicted = mgr.enforce(&mut cache, 11.5); // 0 and 1 expired
         assert_eq!(evicted.len(), 2);
         assert_eq!(cache.status_at(&blocks[0]), Some(Status::Incomplete));
         assert_eq!(cache.status_at(&blocks[2]), Some(Status::Complete));
-        assert_eq!(mgr.evictions, 2);
+        assert_eq!(mgr.stats().evictions, 2);
     }
 
     #[test]
-    fn ttl_touch_refreshes_age() {
+    fn ttl_refresh_resets_data_age() {
         let (owner, mut cache, blocks) = setup();
         let mut mgr = CacheManager::new(EvictionPolicy::Ttl { max_age: 10.0 });
         fill(&owner, &mut cache, &mut mgr, &blocks, 0.0);
-        mgr.note_used(&blocks[0], 9.0);
+        // A fresh copy of block 0 arrives at t=9: its age restarts. Plain
+        // query touches do NOT reset the TTL — it bounds data age, not
+        // recency of use.
+        let cost = cache.unit_cost(&blocks[0]).unwrap();
+        mgr.note_cached(blocks[0].clone(), cost, 9.0);
+        mgr.note_query(&blocks[1], 11.0);
         let evicted = mgr.enforce(&mut cache, 11.5);
-        // Block 0 was touched at 9.0: survives. Block 1 (t=1) expires.
-        assert!(!evicted.contains(&blocks[0]));
-        assert!(evicted.contains(&blocks[1]));
+        assert!(!evicted.contains(&blocks[0]), "refreshed unit survives");
+        assert!(evicted.contains(&blocks[1]), "touched-but-stale unit expires");
     }
 
     #[test]
     fn lru_respects_node_budget() {
         let (owner, mut cache, blocks) = setup();
-        let mut mgr = CacheManager::new(EvictionPolicy::Lru { max_nodes: 1 });
+        let mut mgr =
+            CacheManager::new(EvictionPolicy::Lru { budget: CacheBudget::nodes(1) });
+        mgr.set_admission(false); // force-admit so the sweep does the work
         fill(&owner, &mut cache, &mut mgr, &blocks, 0.0);
         let before = cache.doc().reachable_count();
         let evicted = mgr.enforce(&mut cache, 100.0);
-        // Budget of 1 node cannot hold everything: all cached units go
-        // (the ancestor ID skeleton remains — it is not a cached unit).
+        // Budget of 1 node cannot hold any unit: all cached units go (the
+        // ancestor ID skeleton remains — it is not a cached unit).
         assert_eq!(evicted.len(), 3);
         assert!(cache.doc().reachable_count() < before);
+        assert_eq!(mgr.stats().cached_nodes, 0);
         for b in &blocks {
             assert_eq!(cache.status_at(b), Some(Status::Incomplete));
         }
@@ -203,18 +770,129 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used_first() {
         let (owner, mut cache, blocks) = setup();
+        let total: usize = blocks.iter().map(|b| {
+            let frag = owner.export_subtrees(std::slice::from_ref(b)).unwrap();
+            cache.merge_fragment(&frag).unwrap();
+            unit_nodes(&cache, b)
+        }).sum();
         // A budget that forces exactly one eviction.
-        let mut mgr = CacheManager::new(EvictionPolicy::KeepForever);
-        fill(&owner, &mut cache, &mut mgr, &blocks, 0.0);
-        let nodes_with_all = cache.doc().reachable_count();
-        let mut mgr = CacheManager::new(EvictionPolicy::Lru { max_nodes: nodes_with_all - 1 });
+        let mut mgr =
+            CacheManager::new(EvictionPolicy::Lru { budget: CacheBudget::nodes(total - 1) });
+        mgr.set_admission(false);
         for (i, b) in blocks.iter().enumerate() {
-            mgr.note_cached(b.clone(), i as f64);
+            let cost = cache.unit_cost(b).unwrap();
+            mgr.note_cached(b.clone(), cost, i as f64);
         }
-        mgr.note_used(&blocks[0], 50.0); // block 1 becomes the LRU victim
+        mgr.note_query(&blocks[0], 50.0); // block 1 becomes the LRU victim
         let evicted = mgr.enforce(&mut cache, 100.0);
         assert!(!evicted.is_empty());
         assert_eq!(evicted[0], blocks[1]);
+    }
+
+    #[test]
+    fn heat_weighted_evicts_cold_large_first() {
+        let (owner, mut cache, blocks) = setup();
+        let mut mgr = CacheManager::new(EvictionPolicy::HeatWeighted {
+            budget: CacheBudget::nodes(1),
+        });
+        mgr.set_admission(false);
+        fill(&owner, &mut cache, &mut mgr, &blocks, 0.0);
+        // Blocks are equal-sized; heat block 2 hard so 0 and 1 go first.
+        for t in 0..20 {
+            mgr.note_query(&blocks[2], 10.0 + t as f64 * 0.1);
+        }
+        let evicted = mgr.enforce(&mut cache, 20.0);
+        assert_eq!(evicted.len(), 3, "budget 1 evicts everything eventually");
+        assert_eq!(
+            evicted.last(),
+            Some(&blocks[2]),
+            "the hottest unit is the last to go"
+        );
+    }
+
+    #[test]
+    fn segment_age_evicts_in_admission_order() {
+        let (owner, mut cache, blocks) = setup();
+        let mut mgr = CacheManager::new(EvictionPolicy::SegmentAge {
+            budget: CacheBudget::nodes(1),
+            max_age: f64::INFINITY,
+        });
+        mgr.set_admission(false);
+        fill(&owner, &mut cache, &mut mgr, &blocks, 0.0); // admitted 0,1,2
+        mgr.note_query(&blocks[0], 50.0); // touches must NOT reorder FIFO
+        let evicted = mgr.enforce(&mut cache, 100.0);
+        assert_eq!(evicted, blocks, "strict admission order");
+    }
+
+    #[test]
+    fn byte_budget_is_enforced() {
+        let (owner, mut cache, blocks) = setup();
+        let mut mgr =
+            CacheManager::new(EvictionPolicy::Lru { budget: CacheBudget::bytes(1) });
+        mgr.set_admission(false);
+        fill(&owner, &mut cache, &mut mgr, &blocks, 0.0);
+        assert!(mgr.stats().cached_bytes > 1);
+        let evicted = mgr.enforce(&mut cache, 10.0);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(mgr.stats().cached_bytes, 0);
+    }
+
+    #[test]
+    fn admission_filter_rejects_cold_newcomers() {
+        let (owner, mut cache, blocks) = setup();
+        let per_unit = {
+            let frag = owner.export_subtrees(std::slice::from_ref(&blocks[0])).unwrap();
+            let mut probe = SiteDatabase::new(Service::parking());
+            probe.merge_fragment(&frag).unwrap();
+            probe.unit_cost(&blocks[0]).unwrap().nodes
+        };
+        // Budget fits exactly two units; make blocks 0 and 1 hot first.
+        let mut mgr = CacheManager::new(EvictionPolicy::Lru {
+            budget: CacheBudget::nodes(2 * per_unit),
+        });
+        fill(&owner, &mut cache, &mut mgr, &blocks[..2], 0.0);
+        for t in 0..10 {
+            mgr.note_query(&blocks[0], 1.0 + t as f64);
+            mgr.note_query(&blocks[1], 1.5 + t as f64);
+        }
+        // A one-off unit shows up: over budget, colder than the victim.
+        let frag = owner.export_subtrees(std::slice::from_ref(&blocks[2])).unwrap();
+        cache.merge_fragment(&frag).unwrap();
+        let cost = cache.unit_cost(&blocks[2]).unwrap();
+        let admitted = mgr.note_cached(blocks[2].clone(), cost, 20.0);
+        assert!(!admitted, "one-off scan must not displace hot units");
+        assert_eq!(mgr.stats().admission_rejects, 1);
+        // The sweep demotes the rejected unit, not the hot ones.
+        let evicted = mgr.enforce(&mut cache, 21.0);
+        assert_eq!(evicted, vec![blocks[2].clone()]);
+        assert_eq!(cache.status_at(&blocks[0]), Some(Status::Complete));
+        assert_eq!(cache.status_at(&blocks[1]), Some(Status::Complete));
+        assert_eq!(cache.status_at(&blocks[2]), Some(Status::Incomplete));
+    }
+
+    #[test]
+    fn rejected_unit_that_earns_admission_survives_the_sweep() {
+        let (owner, mut cache, blocks) = setup();
+        let mut mgr =
+            CacheManager::new(EvictionPolicy::Lru { budget: CacheBudget::nodes(1) });
+        fill(&owner, &mut cache, &mut mgr, &blocks[..1], 0.0);
+        for t in 0..12 {
+            mgr.note_query(&blocks[0], 1.0 + t as f64);
+        }
+        let frag = owner.export_subtrees(std::slice::from_ref(&blocks[1])).unwrap();
+        cache.merge_fragment(&frag).unwrap();
+        let cost = cache.unit_cost(&blocks[1]).unwrap();
+        assert!(!mgr.note_cached(blocks[1].clone(), cost, 20.0), "first try rejected");
+        // Demand builds up; a re-merge now clears the admission bar.
+        for t in 0..12 {
+            mgr.note_query(&blocks[1], 21.0 + t as f64);
+        }
+        assert!(mgr.note_cached(blocks[1].clone(), cost, 40.0));
+        let evicted = mgr.enforce(&mut cache, 41.0);
+        // The stale rejection must not demote the now-admitted unit; the
+        // budget sweep evicts by LRU as usual instead.
+        assert!(mgr.index.contains_key(&blocks[1]) || evicted.contains(&blocks[1]));
+        assert!(!evicted.is_empty(), "budget 1 still forces eviction work");
     }
 
     #[test]
@@ -228,5 +906,30 @@ mod tests {
         // The owned unit is neither tracked nor evicted.
         assert!(!evicted.contains(&blocks[2]));
         assert_eq!(cache.status_at(&blocks[2]), Some(Status::Owned));
+        assert_eq!(mgr.tracked(), 0);
+    }
+
+    #[test]
+    fn sweep_work_is_proportional_to_evictions() {
+        let (owner, mut cache, blocks) = setup();
+        let mut mgr =
+            CacheManager::new(EvictionPolicy::Lru { budget: CacheBudget::nodes(1) });
+        mgr.set_admission(false);
+        fill(&owner, &mut cache, &mut mgr, &blocks, 0.0);
+        // Hit-path checks are free...
+        assert!(mgr.needs_enforcement(5.0));
+        let evicted = mgr.enforce(&mut cache, 5.0);
+        let s = mgr.stats();
+        // ...and the sweep examined no more than a constant per demotion.
+        assert!(
+            s.sweep_examined <= (HEAT_SAMPLE as u64) * (evicted.len() as u64 + 1),
+            "examined {} for {} evictions",
+            s.sweep_examined,
+            evicted.len()
+        );
+        // Nothing left to do: the next check is O(1) and does no work.
+        assert!(!mgr.needs_enforcement(6.0));
+        assert!(mgr.enforce(&mut cache, 6.0).is_empty());
+        assert_eq!(mgr.stats().sweeps, s.sweeps);
     }
 }

@@ -836,6 +836,34 @@ impl SiteDatabase {
         self.doc.compact()
     }
 
+    /// Storage cost of the cached unit rooted at `path`, in the units the
+    /// cache budget is denominated in: stored nodes and approximate bytes
+    /// (tag names, attributes, text, plus per-node overhead). Walking the
+    /// unit is O(unit size) — the same order as the merge that created it,
+    /// so admission-time accounting never changes a code path's complexity
+    /// class. Returns `None` when no node is stored at `path`.
+    pub fn unit_cost(&self, path: &IdPath) -> Option<UnitCost> {
+        let node = path.resolve(&self.doc)?;
+        let mut cost = UnitCost { nodes: 1, bytes: self.node_bytes(node) };
+        for d in self.doc.descendants(node) {
+            cost.nodes += 1;
+            cost.bytes += self.node_bytes(d);
+        }
+        Some(cost)
+    }
+
+    fn node_bytes(&self, node: NodeId) -> usize {
+        // Arena slot + child-vec overhead, then the actual payload.
+        let mut b = 16 + self.doc.name(node).len();
+        for a in self.doc.attrs(node) {
+            b += a.name.len() + a.value.len() + 2;
+        }
+        if let Some(t) = self.doc.text(node) {
+            b += t.len();
+        }
+        b
+    }
+
     // ------------------------------------------------------------------
     // Invariant checking (used heavily by tests)
     // ------------------------------------------------------------------
@@ -966,6 +994,16 @@ impl FragmentStats {
     pub fn idable_total(&self) -> usize {
         self.owned + self.complete + self.id_complete + self.incomplete
     }
+}
+
+/// Size of one cached unit in the denominations a cache budget uses
+/// (see [`SiteDatabase::unit_cost`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCost {
+    /// Stored nodes (elements + text) in the unit's subtree.
+    pub nodes: usize,
+    /// Approximate heap bytes the subtree occupies.
+    pub bytes: usize,
 }
 
 impl SiteDatabase {

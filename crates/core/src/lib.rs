@@ -39,8 +39,8 @@ pub use agent::{
 };
 pub use continuous::{ContinuousRegistry, Notification};
 pub use error::{CoreError, CoreResult};
-pub use eviction::{CacheManager, EvictionPolicy};
-pub use fragment::{FragmentStats, SiteDatabase, Status};
+pub use eviction::{CacheBudget, CacheLookup, CacheManager, CacheStats, EvictionPolicy};
+pub use fragment::{FragmentStats, SiteDatabase, Status, UnitCost};
 pub use idable::IdPath;
 pub use obs::ObsPlane;
 pub use qeg::{QegFactory, QegOutcome, XsltCreation};

@@ -375,7 +375,7 @@ mod tests {
     #[test]
     fn floats_keep_precision() {
         let mut s = SpanRecord::new(9, Link::ChildOf { parent: 1 }, 1, SpanKind::Finalize, 0.0);
-        s.t0 = 1234.000_000_123;
+        s.t0 = 1_234.000_000_123;
         s.dur = 1e-9;
         let back = span_from_jsonl(&span_to_jsonl(&s)).unwrap();
         assert_eq!(back.t0, s.t0);

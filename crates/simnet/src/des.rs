@@ -289,6 +289,21 @@ impl DesCluster {
         self.sites.get(&addr).map(|s| &s.oa)
     }
 
+    /// Addresses of every registered site, unordered.
+    pub fn site_addrs(&self) -> Vec<SiteAddr> {
+        self.sites.keys().copied().collect()
+    }
+
+    /// Cluster-wide cache-plane totals (hits, misses, evictions, budget
+    /// occupancy), accumulated across all sites.
+    pub fn cache_stats_total(&self) -> irisnet_core::CacheStats {
+        let mut total = irisnet_core::CacheStats::default();
+        for site in self.sites.values() {
+            total.accumulate(&site.oa.cache_stats());
+        }
+        total
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> f64 {
         self.now

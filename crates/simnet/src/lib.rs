@@ -23,6 +23,6 @@ pub mod trace;
 
 pub use des::{ClientLoad, CostModel, DesCluster, ReplyRecord, UnclaimedReply};
 pub use faults::{CrashWindow, FaultCounts, FaultPlan, FaultState};
-pub use live::{LiveClient, LiveCluster, LiveReply};
+pub use live::{cache_stats_total, LiveClient, LiveCluster, LiveReply};
 pub use metrics::{latency_percentiles, throughput_series, Percentiles};
 pub use trace::{MsgClass, Trace};

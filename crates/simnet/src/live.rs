@@ -493,6 +493,17 @@ impl LiveCluster {
     }
 }
 
+/// Cluster-wide cache-plane totals over the agents returned by
+/// [`LiveCluster::shutdown`] — the live-side counterpart of
+/// [`crate::DesCluster::cache_stats_total`].
+pub fn cache_stats_total(agents: &[OrganizingAgent]) -> irisnet_core::CacheStats {
+    let mut total = irisnet_core::CacheStats::default();
+    for oa in agents {
+        total.accumulate(&oa.cache_stats());
+    }
+    total
+}
+
 /// A cloneless per-thread client handle over a running [`LiveCluster`].
 /// Obtain one per client thread via [`LiveCluster::client`]; endpoint/query
 /// id allocation is shared with the cluster, so handles and the cluster can

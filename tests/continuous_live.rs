@@ -169,9 +169,15 @@ fn ttl_eviction_causes_refetch_after_expiry() {
     };
     pose(&mut sim, 0.0, 1); // gathers and caches
     pose(&mut sim, 5.0, 2); // cache hit
-    pose(&mut sim, 100.0, 3); // TTL expired on the merge-time stamp: refetch
+    // TTL has expired on the merge-time stamp by t=100. Enforcement is
+    // off the hot path: query 3 is still answered from the (stale) cache,
+    // and the expired unit is demoted by the post-query sweep. Query 4
+    // then misses and re-gathers.
+    pose(&mut sim, 100.0, 3);
+    pose(&mut sim, 110.0, 4);
     sim.run_until(200.0);
-    assert_eq!(sim.take_unclaimed_replies().len(), 3);
+    assert_eq!(sim.take_unclaimed_replies().len(), 4);
     let s1 = sim.site(SiteAddr(1)).unwrap();
-    assert_eq!(s1.stats.subqueries_sent, 2, "gather, hit, re-gather");
+    assert_eq!(s1.stats.subqueries_sent, 2, "gather, hit, stale hit + evict, re-gather");
+    assert_eq!(s1.cache_stats().evictions, 1, "exactly the expired block is demoted");
 }
