@@ -13,4 +13,4 @@ pub mod workload;
 pub use arch::{build_cluster, Arch, BuiltCluster};
 pub use parkingdb::{DbParams, ParkingDb};
 pub use runner::{run_throughput, table_row, ThroughputResult};
-pub use workload::{QueryType, Workload};
+pub use workload::{QueryType, ScaleHierarchy, Workload};

@@ -60,22 +60,31 @@ const CITY_NAMES: &[&str] = &[
     "Scranton",
 ];
 
+/// City names: the paper's named cities first, then synthetic `c7`, `c8`,
+/// ... so the scale experiments can grow the hierarchy past the base
+/// database without perturbing the documents small runs generate.
+fn city_names(cities: usize) -> Vec<String> {
+    (0..cities)
+        .map(|ci| match CITY_NAMES.get(ci) {
+            Some(name) => (*name).to_string(),
+            None => format!("c{}", ci + 1),
+        })
+        .collect()
+}
+
 /// A generated master document plus path helpers.
 pub struct ParkingDb {
     pub service: Arc<Service>,
     pub params: DbParams,
     pub master: Document,
+    city_names: Vec<String>,
 }
 
 impl ParkingDb {
     /// Generates a database with deterministic pseudo-random availability
     /// and prices.
     pub fn generate(params: DbParams, seed: u64) -> ParkingDb {
-        assert!(
-            params.cities <= CITY_NAMES.len(),
-            "at most {} cities supported",
-            CITY_NAMES.len()
-        );
+        let city_names = city_names(params.cities);
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut doc = Document::new();
         let us = doc.create_element("usRegion");
@@ -83,7 +92,7 @@ impl ParkingDb {
         doc.set_root(us).expect("fresh document");
         let state = child(&mut doc, us, "state", "PA");
         let county = child(&mut doc, state, "county", "Allegheny");
-        for city_name in CITY_NAMES.iter().take(params.cities) {
+        for city_name in &city_names {
             let city = child(&mut doc, county, "city", city_name);
             for ni in 0..params.neighborhoods_per_city {
                 let n = child(&mut doc, city, "neighborhood", &format!("n{}", ni + 1));
@@ -111,6 +120,7 @@ impl ParkingDb {
             service: Service::parking(),
             params,
             master: doc,
+            city_names,
         }
     }
 
@@ -127,13 +137,13 @@ impl ParkingDb {
     }
 
     /// City name by index.
-    pub fn city_name(&self, ci: usize) -> &'static str {
-        CITY_NAMES[ci]
+    pub fn city_name(&self, ci: usize) -> &str {
+        &self.city_names[ci]
     }
 
     /// Path of city `ci`.
     pub fn city_path(&self, ci: usize) -> IdPath {
-        self.county_path().child("city", CITY_NAMES[ci])
+        self.county_path().child("city", self.city_names[ci].as_str())
     }
 
     /// Path of neighborhood `ni` of city `ci` (0-based indices).
@@ -226,6 +236,22 @@ mod tests {
         assert!(db.space_path(0, 0, 0, 0).resolve(&db.master).is_some());
         assert_eq!(db.all_block_paths().len(), 2 * 3 * 20);
         assert_eq!(db.all_space_paths().len(), 2400);
+    }
+
+    #[test]
+    fn city_names_extend_past_the_named_set() {
+        let db = ParkingDb::generate(
+            DbParams {
+                cities: 8,
+                neighborhoods_per_city: 1,
+                blocks_per_neighborhood: 1,
+                spaces_per_block: 1,
+            },
+            1,
+        );
+        assert_eq!(db.city_name(0), "Pittsburgh");
+        assert_eq!(db.city_name(6), "c7");
+        assert!(db.city_path(7).resolve(&db.master).is_some());
     }
 
     #[test]

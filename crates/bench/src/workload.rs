@@ -9,10 +9,12 @@
 //! * skewed variants direct a fraction of type 1/2 queries at one fixed
 //!   neighborhood (§5.3–5.4).
 
+use irisdns::SiteAddr;
+use irisnet_core::{IdPath, OaConfig, OrganizingAgent};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::parkingdb::ParkingDb;
+use crate::parkingdb::{DbParams, ParkingDb};
 
 /// The paper's four query types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -261,6 +263,109 @@ impl Workload {
     }
 }
 
+/// A hierarchy shape that scales to thousands of sites: one site for the
+/// region top (root / state / county nodes), one per city, one per
+/// neighborhood subtree — the paper's Fig. 6(iv) placement with the
+/// fanouts as free parameters instead of the fixed nine sites. The same
+/// placement drives both substrates: [`ScaleHierarchy::make_agents`]
+/// builds a fresh, identically bootstrapped agent set each call, so a
+/// sharded-runtime run and its DES replay start from the same state.
+pub struct ScaleHierarchy {
+    pub db: ParkingDb,
+    /// DNS registrations, `(ownership root, owner)`, top-first. Site
+    /// addresses are dense from 1, so `addr % shards` spreads the
+    /// hierarchy evenly over a sharded runtime.
+    pub owners: Vec<(IdPath, SiteAddr)>,
+}
+
+impl ScaleHierarchy {
+    /// Derives a database shape whose site count is exactly `sites`
+    /// (`1 + cities + cities × neighborhoods`): cities ≈ √sites, the
+    /// remainder folded into the neighborhood fanout of the last city.
+    /// Small block/space fanouts keep the leaf documents light so the
+    /// headline runs are bounded by site count, not document size.
+    pub fn params_for_sites(sites: usize) -> DbParams {
+        assert!(sites >= 7, "need at least 2 cities of 2 neighborhoods");
+        let mut cities = ((sites as f64).sqrt() as usize).max(2);
+        // Largest neighborhood fanout that fits, then shrink the city
+        // count until the grid `1 + c + c*n` can reach `sites` exactly.
+        loop {
+            let n = (sites - 1 - cities) / cities;
+            if n >= 2 && 1 + cities + cities * n == sites {
+                return DbParams {
+                    cities,
+                    neighborhoods_per_city: n,
+                    blocks_per_neighborhood: 2,
+                    spaces_per_block: 2,
+                };
+            }
+            cities -= 1;
+            assert!(cities >= 2, "no grid of {sites} sites");
+        }
+    }
+
+    /// Builds the placement for a generated database.
+    pub fn build(params: DbParams, seed: u64) -> ScaleHierarchy {
+        let db = ParkingDb::generate(params, seed);
+        let mut owners = vec![(db.root_path(), SiteAddr(1))];
+        let mut next = 2u32;
+        for ci in 0..params.cities {
+            owners.push((db.city_path(ci), SiteAddr(next)));
+            next += 1;
+        }
+        for ci in 0..params.cities {
+            for ni in 0..params.neighborhoods_per_city {
+                owners.push((db.neighborhood_path(ci, ni), SiteAddr(next)));
+                next += 1;
+            }
+        }
+        ScaleHierarchy { db, owners }
+    }
+
+    /// Convenience: exactly `sites` sites.
+    pub fn with_sites(sites: usize, seed: u64) -> ScaleHierarchy {
+        ScaleHierarchy::build(ScaleHierarchy::params_for_sites(sites), seed)
+    }
+
+    pub fn site_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Constructs and bootstraps one agent per site: skeleton nodes on the
+    /// top and city sites, full subtrees on the neighborhood sites.
+    /// Callable repeatedly — each call yields an identical fresh set.
+    pub fn make_agents(&self, config: &OaConfig) -> Vec<OrganizingAgent> {
+        let db = &self.db;
+        let mut agents = Vec::with_capacity(self.site_count());
+        let top = OrganizingAgent::new(SiteAddr(1), db.service.clone(), config.clone());
+        top.db_mut()
+            .bootstrap_owned(&db.master, &db.root_path(), false)
+            .expect("root");
+        top.db_mut()
+            .bootstrap_owned(&db.master, &db.root_path().child("state", "PA"), false)
+            .expect("state");
+        top.db_mut()
+            .bootstrap_owned(&db.master, &db.county_path(), false)
+            .expect("county");
+        agents.push(top);
+        for (path, addr) in &self.owners[1..] {
+            let a = OrganizingAgent::new(*addr, db.service.clone(), config.clone());
+            let full_subtree = path.last().map(|(t, _)| t == "neighborhood").unwrap_or(false);
+            a.db_mut()
+                .bootstrap_owned(&db.master, path, full_subtree)
+                .expect("bootstrap site");
+            agents.push(a);
+        }
+        agents
+    }
+
+    /// The QW-Mix stream over this database, leaf heat Zipf-skewed with
+    /// exponent `zipf` (0 = uniform).
+    pub fn workload(&self, seed: u64, zipf: f64) -> Workload {
+        Workload::qw_mix(&self.db, seed).with_zipf(zipf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +374,57 @@ mod tests {
 
     fn db() -> ParkingDb {
         ParkingDb::generate(DbParams::small(), 1)
+    }
+
+    #[test]
+    fn scale_params_hit_exact_site_counts() {
+        for sites in [7, 13, 111, 1021, 10_000] {
+            let p = ScaleHierarchy::params_for_sites(sites);
+            assert_eq!(
+                1 + p.cities + p.cities * p.neighborhoods_per_city,
+                sites,
+                "{p:?}"
+            );
+            assert_eq!(ScaleHierarchy::with_sites(sites, 1).site_count(), sites);
+        }
+    }
+
+    #[test]
+    fn scale_hierarchy_answers_on_des() {
+        use irisnet_core::{Endpoint, Message};
+        use simnet::{CostModel, DesCluster};
+
+        let h = ScaleHierarchy::with_sites(13, 3);
+        let mut sim = DesCluster::new(CostModel::default());
+        for (path, addr) in &h.owners {
+            sim.dns.register(&h.db.service.dns_name(path), *addr);
+        }
+        let agents = h.make_agents(&OaConfig::default());
+        assert_eq!(agents.len(), 13);
+        for a in agents {
+            sim.add_site(a);
+        }
+        let mut w = h.workload(9, 0.8);
+        for (i, qt) in [QueryType::T1, QueryType::T3, QueryType::T4]
+            .into_iter()
+            .enumerate()
+        {
+            sim.schedule_message(
+                i as f64 * 50.0,
+                SiteAddr(1),
+                Message::UserQuery {
+                    qid: i as u64 + 1,
+                    text: w.next_query_of(qt),
+                    endpoint: Endpoint(10_000 + i as u64),
+                },
+            );
+        }
+        sim.run_until(200.0);
+        let replies = sim.take_unclaimed_detailed();
+        assert_eq!(replies.len(), 3);
+        for r in &replies {
+            assert!(r.ok && !r.partial, "scale hierarchy query failed: {}", r.answer_xml);
+        }
     }
 
     #[test]

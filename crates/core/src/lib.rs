@@ -34,8 +34,8 @@ pub mod service;
 
 pub use agent::{
     perform_read, CacheMode, Endpoint, HandleOutcome, Message, OaConfig, OaStats,
-    OrganizingAgent, Outbound, QueryId, ReadDone, ReadResult, ReadTask, ReadTaskKind,
-    RetryPolicy, SensingAgent,
+    OrganizingAgent, Outbound, QueryId, ReadContext, ReadDone, ReadResult, ReadTask,
+    ReadTaskKind, RetryPolicy, SensingAgent,
 };
 pub use continuous::{ContinuousRegistry, Notification};
 pub use error::{CoreError, CoreResult};

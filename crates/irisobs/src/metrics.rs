@@ -193,6 +193,23 @@ impl MetricsSnapshot {
     pub fn counter_total(&self, name: &str) -> u64 {
         self.counters.iter().filter(|c| c.name == name).map(|c| c.value).sum()
     }
+
+    /// The histogram series `name` at `site`, if it was ever observed.
+    pub fn histogram(&self, site: u32, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.site == site && h.name == name)
+    }
+
+    /// All histogram series at `site` whose name starts with `prefix` —
+    /// the per-shard runtime series (`runtime.shard<i>.*`) are enumerated
+    /// this way without knowing the shard count up front.
+    pub fn histograms_with_prefix(&self, site: u32, prefix: &str) -> Vec<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .filter(|h| h.site == site && h.name.starts_with(prefix))
+            .collect()
+    }
 }
 
 /// A per-site registry of named series. Site 0 is reserved for

@@ -12,17 +12,27 @@
 //!   message ordering. Used by the throughput/load-balancing/caching
 //!   experiments (Figs. 7–10), where the quantity of interest is queueing
 //!   and placement, not raw engine speed.
+//! * [`shard`] — the **sharded event-loop runtime**: many sites multiplex
+//!   onto N shard threads (N ∝ cores, not sites) with shard-shared read
+//!   worker pools; cross-shard messages pass through the length-framed
+//!   binary [`wire`] codec exactly as a TCP transport would. This is the
+//!   scale substrate (10,000-site hierarchies on one host).
 //! * [`metrics`] — throughput windows and latency percentiles shared by
-//!   both.
+//!   all substrates.
 
 pub mod des;
+pub(crate) mod fabric;
 pub mod faults;
 pub mod live;
 pub mod metrics;
+pub mod shard;
 pub mod trace;
+pub mod wire;
 
 pub use des::{ClientLoad, CostModel, DesCluster, ReplyRecord, UnclaimedReply};
 pub use faults::{CrashWindow, FaultCounts, FaultPlan, FaultState};
 pub use live::{cache_stats_total, LiveClient, LiveCluster, LiveReply};
 pub use metrics::{latency_percentiles, throughput_series, Percentiles};
+pub use shard::{ShardClient, ShardConfig, ShardedCluster};
 pub use trace::{MsgClass, Trace};
+pub use wire::{decode_frame, encode_frame, split_frame, WireError, WIRE_VERSION};

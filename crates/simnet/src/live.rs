@@ -5,10 +5,9 @@
 //! routing, QEG compilation and execution, wire (de)serialization — and is
 //! what the examples and the Fig. 11 micro-benchmarks use.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -21,7 +20,8 @@ use irisnet_core::{
 use irisobs::Recorder;
 use parking_lot::Mutex;
 
-use crate::faults::{FaultCounts, FaultPlan, FaultState};
+use crate::fabric::{FaultFabric, WorkQueue};
+use crate::faults::{FaultCounts, FaultPlan};
 
 /// The `(query id, answer XML, ok, partial)` tuples pushed back to clients.
 pub type ReplyTuple = (QueryId, String, bool, bool);
@@ -50,206 +50,14 @@ struct SiteHandle {
     join: JoinHandle<OrganizingAgent>,
 }
 
-/// A hand-rolled task queue shared between a site's owner loop and its read
-/// workers. Closing wakes every blocked worker so they can exit.
-struct WorkQueue {
-    state: StdMutex<(VecDeque<(ReadTask, Instant)>, bool)>,
-    cv: Condvar,
-}
-
-impl WorkQueue {
-    fn new() -> WorkQueue {
-        WorkQueue { state: StdMutex::new((VecDeque::new(), false)), cv: Condvar::new() }
-    }
-
-    /// Enqueues a task (stamped for queue-wait accounting) and returns the
-    /// queue depth after the push.
-    fn push(&self, task: ReadTask) -> usize {
-        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        g.0.push_back((task, Instant::now()));
-        self.cv.notify_one();
-        g.0.len()
-    }
-
-    /// Closes the queue and returns every task that was still queued:
-    /// workers finish only the task they are running. The caller must
-    /// complete the abandoned tasks (with `SiteDown` results) so blocked
-    /// clients get an answer instead of a hang.
-    fn close_abandon(&self) -> Vec<ReadTask> {
-        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        g.1 = true;
-        self.cv.notify_all();
-        g.0.drain(..).map(|(t, _)| t).collect()
-    }
-
-    /// Blocks until a task is available; `None` once closed. Closure wins
-    /// over queued work — remaining tasks belong to
-    /// [`WorkQueue::close_abandon`]'s caller. Returns the task and how long
-    /// it sat queued (seconds).
-    fn pop(&self) -> Option<(ReadTask, f64)> {
-        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if g.1 {
-                return None;
-            }
-            if let Some((t, queued_at)) = g.0.pop_front() {
-                return Some((t, queued_at.elapsed().as_secs_f64()));
-            }
-            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-}
-
-/// A message parked by the fault layer for late delivery.
-struct Delayed {
-    due: Instant,
-    seq: u64,
+/// Delivers a message into a site's mailbox (no-op if the site is gone).
+fn deliver_to(
+    senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
     to: SiteAddr,
     msg: Message,
-}
-
-impl PartialEq for Delayed {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-impl Eq for Delayed {}
-impl PartialOrd for Delayed {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Delayed {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.due.cmp(&other.due).then(self.seq.cmp(&other.seq))
-    }
-}
-
-/// The wrapped channel boundary: every site-to-site send consults the
-/// shared [`FaultState`] (same per-link decision streams as the DES), and
-/// delayed/duplicated copies are re-injected by a single delayer thread.
-/// With no plan installed every send passes straight through.
-struct FaultLayer {
-    epoch: Instant,
-    state: StdMutex<Option<FaultState>>,
-    delayed: StdMutex<BinaryHeap<Reverse<Delayed>>>,
-    delayed_cv: Condvar,
-    delayed_seq: AtomicU64,
-    closed: AtomicBool,
-}
-
-impl FaultLayer {
-    fn new(epoch: Instant) -> FaultLayer {
-        FaultLayer {
-            epoch,
-            state: StdMutex::new(None),
-            delayed: StdMutex::new(BinaryHeap::new()),
-            delayed_cv: Condvar::new(),
-            delayed_seq: AtomicU64::new(0),
-            closed: AtomicBool::new(false),
-        }
-    }
-
-    fn park(&self, due: Instant, to: SiteAddr, msg: Message) {
-        let seq = self.delayed_seq.fetch_add(1, Ordering::Relaxed);
-        let mut g = self.delayed.lock().unwrap_or_else(|e| e.into_inner());
-        g.push(Reverse(Delayed { due, seq, to, msg }));
-        self.delayed_cv.notify_one();
-    }
-
-    /// Applies the plan to one site-to-site message; sends the surviving
-    /// copies (possibly via the delayer).
-    fn send_site(
-        &self,
-        from: SiteAddr,
-        to: SiteAddr,
-        msg: Message,
-        senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
-    ) {
-        let decision = {
-            let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            match g.as_mut() {
-                None => None,
-                Some(f) => {
-                    let now = self.epoch.elapsed().as_secs_f64();
-                    if f.site_down(to, now) {
-                        f.counts.crash_drops += 1;
-                        return;
-                    }
-                    Some((f.decide(from, to), f.plan().dup_extra_delay))
-                }
-            }
-        };
-        let direct = |m: Message| {
-            if let Some(tx) = senders.lock().get(&to) {
-                let _ = tx.send(Envelope::Msg(m));
-            }
-        };
-        match decision {
-            None => direct(msg),
-            Some((d, dup_extra)) => {
-                if d.drop {
-                    return;
-                }
-                if d.duplicate {
-                    let due =
-                        Instant::now() + Duration::from_secs_f64(d.extra_delay + dup_extra);
-                    self.park(due, to, msg.clone());
-                }
-                if d.extra_delay > 0.0 {
-                    self.park(Instant::now() + Duration::from_secs_f64(d.extra_delay), to, msg);
-                } else {
-                    direct(msg);
-                }
-            }
-        }
-    }
-
-    fn close(&self) {
-        self.closed.store(true, Ordering::SeqCst);
-        let _g = self.delayed.lock().unwrap_or_else(|e| e.into_inner());
-        self.delayed_cv.notify_all();
-    }
-}
-
-/// Delivers parked messages when they come due; exits on
-/// [`FaultLayer::close`], dropping anything still parked (the cluster is
-/// going down).
-fn delayer_loop(
-    layer: Arc<FaultLayer>,
-    senders: Arc<Mutex<HashMap<SiteAddr, Sender<Envelope>>>>,
 ) {
-    let mut g = layer.delayed.lock().unwrap_or_else(|e| e.into_inner());
-    loop {
-        if layer.closed.load(Ordering::SeqCst) {
-            return;
-        }
-        let wait = match g.peek() {
-            None => None,
-            Some(Reverse(d)) => {
-                let now = Instant::now();
-                if d.due <= now {
-                    let Some(Reverse(d)) = g.pop() else { continue };
-                    drop(g);
-                    if let Some(tx) = senders.lock().get(&d.to) {
-                        let _ = tx.send(Envelope::Msg(d.msg));
-                    }
-                    g = layer.delayed.lock().unwrap_or_else(|e| e.into_inner());
-                    continue;
-                }
-                Some(d.due - now)
-            }
-        };
-        g = match wait {
-            None => layer.delayed_cv.wait(g).unwrap_or_else(|e| e.into_inner()),
-            Some(dur) => {
-                layer
-                    .delayed_cv
-                    .wait_timeout(g, dur)
-                    .unwrap_or_else(|e| e.into_inner())
-                    .0
-            }
-        };
+    if let Some(tx) = senders.lock().get(&to) {
+        let _ = tx.send(Envelope::Msg(msg));
     }
 }
 
@@ -264,7 +72,7 @@ pub struct LiveCluster {
     next_endpoint: Arc<AtomicU64>,
     next_qid: Arc<AtomicU64>,
     client_resolver: CachingResolver,
-    faults: Arc<FaultLayer>,
+    faults: Arc<FaultFabric>,
     delayer_join: Option<JoinHandle<()>>,
     /// Observability recorder handed to every site added from now on.
     /// Span timestamps use wall time since the cluster epoch, matching the
@@ -286,7 +94,7 @@ impl LiveCluster {
             next_endpoint: Arc::new(AtomicU64::new(0)),
             next_qid: Arc::new(AtomicU64::new(1)),
             client_resolver: CachingResolver::new(3600.0),
-            faults: Arc::new(FaultLayer::new(epoch)),
+            faults: Arc::new(FaultFabric::new(epoch)),
             delayer_join: None,
             recorder: None,
         }
@@ -309,15 +117,16 @@ impl LiveCluster {
     /// decision lands on.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.dns.lock().set_staleness_window(plan.dns_stale_window);
-        *self.faults.state.lock().unwrap_or_else(|e| e.into_inner()) =
-            Some(FaultState::new(plan));
+        self.faults.install(plan);
         if self.delayer_join.is_none() {
             let layer = self.faults.clone();
             let senders = self.senders.clone();
             self.delayer_join = Some(
                 std::thread::Builder::new()
                     .name("fault-delayer".into())
-                    .spawn(move || delayer_loop(layer, senders))
+                    .spawn(move || {
+                        layer.delayer_loop(|to, msg| deliver_to(&senders, to, msg))
+                    })
                     .expect("spawn delayer thread"),
             );
         }
@@ -325,13 +134,7 @@ impl LiveCluster {
 
     /// Observability counters for the active fault plan (zeroes if none).
     pub fn fault_counts(&self) -> FaultCounts {
-        self.faults
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .as_ref()
-            .map(|f| f.counts)
-            .unwrap_or_default()
+        self.faults.counts()
     }
 
     /// The shared authoritative DNS (for registrations during setup).
@@ -606,11 +409,13 @@ fn route_all(
     outs: Vec<Outbound>,
     senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
     replies: &Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>,
-    faults: &FaultLayer,
+    faults: &FaultFabric,
 ) {
     for o in outs {
         match o {
-            Outbound::Send { to, msg } => faults.send_site(from, to, msg, senders),
+            Outbound::Send { to, msg } => {
+                faults.send_site(from, to, msg, |to, m| deliver_to(senders, to, m))
+            }
             Outbound::ReplyUser { endpoint, qid, answer_xml, ok, partial } => {
                 if let Some(tx) = replies.lock().get(&endpoint) {
                     let _ = tx.send((qid, answer_xml, ok, partial));
@@ -624,7 +429,8 @@ fn route_all(
 /// a `SiteDown` error for user finalizes, an empty partial fragment for
 /// site finalizes, an exec error otherwise. Feeding these through
 /// [`OrganizingAgent::complete_read`] reuses the normal reply routing.
-fn site_down_done(task: &ReadTask) -> ReadDone {
+/// Shared with the sharded runtime's stop path ([`crate::shard`]).
+pub(crate) fn site_down_done(task: &ReadTask) -> ReadDone {
     let result = match &task.kind {
         ReadTaskKind::FinalizeUser { endpoint, qid, .. } => ReadResult::UserAnswer {
             endpoint: *endpoint,
@@ -663,11 +469,11 @@ fn site_loop(
     replies: Arc<Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>>,
     epoch: Instant,
     workers: usize,
-    faults: Arc<FaultLayer>,
+    faults: Arc<FaultFabric>,
     recorder: Option<Arc<dyn Recorder>>,
 ) -> OrganizingAgent {
     let my_addr = oa.addr;
-    let queue = Arc::new(WorkQueue::new());
+    let queue: Arc<WorkQueue<ReadTask>> = Arc::new(WorkQueue::new());
     let mut worker_joins = Vec::with_capacity(workers);
     for i in 0..workers {
         let q = Arc::clone(&queue);

@@ -7,13 +7,16 @@
 //! function of the seed, so any failure replays exactly: the assertion
 //! message carries the seed and the full plan.
 
+use std::sync::OnceLock;
+use std::time::Duration;
+
 use irisdns::SiteAddr;
 use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
 use irisnet_core::{
     CacheMode, Endpoint, Message, OaConfig, OrganizingAgent, RetryPolicy, Status,
 };
 use proptest::prelude::*;
-use simnet::{CostModel, DesCluster, FaultPlan};
+use simnet::{CostModel, DesCluster, FaultPlan, ShardConfig, ShardedCluster};
 
 fn params() -> DbParams {
     DbParams {
@@ -98,6 +101,38 @@ fn run(db: &ParkingDb, plan: Option<FaultPlan>) -> Vec<(u64, String, bool, bool)
         .into_iter()
         .map(|r| (r.endpoint.0, canon(&r.answer_xml), r.ok, r.partial))
         .collect()
+}
+
+/// One sharded-runtime run (wall clock, forced wire framing): queries are
+/// posed sequentially and blocking, so replies arrive in injection order.
+/// Returns `(canonical answer, ok, partial)` per query.
+fn sharded_run(
+    db: &ParkingDb,
+    plan: Option<FaultPlan>,
+    shards: usize,
+) -> Vec<(String, bool, bool)> {
+    let mut cluster = ShardedCluster::with_config(
+        db.service.clone(),
+        ShardConfig { shards, workers_per_shard: 1, force_wire: true },
+    );
+    let (oa1, oa2) = make_agents(db);
+    cluster.register_owner(&db.root_path(), SiteAddr(1));
+    cluster.register_owner(&db.neighborhood_path(0, 1), SiteAddr(2));
+    cluster.add_site(oa1);
+    cluster.add_site(oa2);
+    cluster.start();
+    if let Some(p) = plan {
+        cluster.set_fault_plan(p);
+    }
+    let answers = query_mix(db)
+        .iter()
+        .map(|q| {
+            let r = cluster.pose_query(q, Duration::from_secs(60)).expect("reply");
+            (canon(&r.answer_xml), r.ok, r.partial)
+        })
+        .collect();
+    cluster.shutdown();
+    answers
 }
 
 /// Guards against the property above passing vacuously: under a plan with
@@ -185,6 +220,42 @@ proptest! {
                 b, f,
                 "seed {}: answer diverged under {:?}",
                 seed, plan
+            );
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases than the DES sweep: each case is a wall-clock cluster
+    // run. The chaos_smoke.sh seed sweeps still pin the whole set via
+    // PROPTEST_RNG_SEED.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The same masking property on the sharded event-loop runtime: the
+    /// fault fabric wraps shard-routed sends exactly as it wraps per-site
+    /// channels, so a masked plan must be invisible at 1 and 2 shards too
+    /// (wall clock, every message framed). Delays are capped small to keep
+    /// the blocking sequential poses fast.
+    #[test]
+    fn masked_faults_are_invisible_on_shards(seed in 0u64..u64::MAX) {
+        let db = ParkingDb::generate(params(), 42);
+        static BASELINE: OnceLock<Vec<(String, bool, bool)>> = OnceLock::new();
+        let baseline = BASELINE.get_or_init(|| sharded_run(&db, None, 2));
+        prop_assert_eq!(baseline.len(), 12, "baseline sharded run dropped replies");
+        for (_, ok, partial) in baseline.iter() {
+            prop_assert!(*ok && !partial, "sharded baseline not exact");
+        }
+
+        let plan = FaultPlan {
+            max_extra_delay: 0.3,
+            ..FaultPlan::masked_from_seed(seed)
+        };
+        for shards in [1usize, 2] {
+            let faulted = sharded_run(&db, Some(plan.clone()), shards);
+            prop_assert_eq!(
+                &faulted, baseline,
+                "seed {} at {} shards: sharded answers diverged under {:?}",
+                seed, shards, plan
             );
         }
     }

@@ -1,0 +1,184 @@
+//! Sharded-runtime shutdown stress: stopping shards mid-workload must
+//! never strand a client. This ports the PR 3 shutdown-liveness guarantees
+//! to the multiplexed runtime — a stopping shard drains its queued read
+//! tasks with `SiteDown` completions and fails its still-gathering queries
+//! out loud, and surviving shards degrade to `partial="true"` answers once
+//! their retries to the dead sites abandon.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use irisdns::SiteAddr;
+use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
+use irisnet_core::{CacheMode, OaConfig, OrganizingAgent, RetryPolicy, Status};
+use simnet::{ShardConfig, ShardedCluster};
+
+fn params() -> DbParams {
+    DbParams {
+        cities: 1,
+        neighborhoods_per_city: 2,
+        blocks_per_neighborhood: 3,
+        spaces_per_block: 3,
+    }
+}
+
+/// Root site 1 (odd → shard 1) owns the region skeleton; leaf sites 2 and
+/// 4 (even → shard 0) own one neighborhood each, so `stop_shard(0)` kills
+/// exactly the leaves. Caching is off so every cross-neighborhood query
+/// re-asks the leaves, and the root's bounded retries make asks to dead
+/// sites abandon into partial answers instead of hanging.
+fn build(workers_per_shard: usize) -> ShardedCluster {
+    let db = ParkingDb::generate(params(), 7);
+    let svc = db.service.clone();
+    let mut cluster = ShardedCluster::with_config(
+        svc.clone(),
+        ShardConfig { shards: 2, workers_per_shard, force_wire: false },
+    );
+    let root_cfg = OaConfig {
+        cache: CacheMode::Off,
+        retry: RetryPolicy::bounded(0.25, 1),
+        ..OaConfig::default()
+    };
+    let oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), root_cfg);
+    oa1.db_mut().bootstrap_owned(&db.master, &db.root_path(), true).unwrap();
+    cluster.register_owner(&db.root_path(), SiteAddr(1));
+    for (ni, addr) in [(0usize, SiteAddr(2)), (1, SiteAddr(4))] {
+        let carved = db.neighborhood_path(0, ni);
+        oa1.db_mut().set_status_subtree(&carved, Status::Complete).unwrap();
+        oa1.db_mut().evict(&carved).unwrap();
+        let leaf = OrganizingAgent::new(addr, svc.clone(), OaConfig::default());
+        leaf.db_mut().bootstrap_owned(&db.master, &carved, true).unwrap();
+        cluster.register_owner(&carved, addr);
+        cluster.add_site(leaf);
+    }
+    cluster.add_site(oa1);
+    cluster.start();
+    cluster
+}
+
+/// Shared client body: warm-up queries must all succeed exactly; racing
+/// queries must all arrive promptly as real, partial, or `SiteDown`
+/// answers. Returns `(ok_exact, ok_partial, down)`.
+fn client_body(
+    cluster: &ShardedCluster,
+    seed: u64,
+    barrier: Arc<Barrier>,
+    races: usize,
+) -> std::thread::JoinHandle<(u64, u64, u64)> {
+    let mut client = cluster.client();
+    let db = ParkingDb::generate(params(), 7);
+    std::thread::spawn(move || {
+        let mut w = Workload::qw_mix(&db, 500 + seed);
+        for _ in 0..5 {
+            let r = client
+                .pose_query(&w.next_query_of(QueryType::T3), Duration::from_secs(20))
+                .expect("pre-stop query hung");
+            assert!(r.ok && !r.partial, "pre-stop query degraded: {}", r.answer_xml);
+        }
+        barrier.wait();
+        let (mut exact, mut partial, mut down) = (0u64, 0u64, 0u64);
+        for i in 0..races {
+            let q = if i % 2 == 0 {
+                w.next_query_of(QueryType::T3)
+            } else {
+                w.next_query()
+            };
+            let start = Instant::now();
+            let r = client
+                .pose_query(&q, Duration::from_secs(30))
+                .expect("query stranded by shard stop");
+            assert!(
+                start.elapsed() < Duration::from_secs(25),
+                "reply only arrived near the timeout: not a prompt answer"
+            );
+            if r.ok {
+                let doc = sensorxml::parse(&r.answer_xml).expect("answer parses");
+                assert_eq!(doc.name(doc.root().unwrap()), "result");
+                if r.partial {
+                    partial += 1;
+                } else {
+                    exact += 1;
+                }
+            } else {
+                assert!(
+                    r.answer_xml.contains("site down"),
+                    "unexpected failure shape: {}",
+                    r.answer_xml
+                );
+                down += 1;
+            }
+        }
+        (exact, partial, down)
+    })
+}
+
+#[test]
+fn stopping_a_shard_mid_workload_degrades_promptly() {
+    let mut cluster = build(2);
+    const CLIENTS: u64 = 4;
+    const RACES: usize = 12;
+    let barrier = Arc::new(Barrier::new(CLIENTS as usize + 1));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| client_body(&cluster, c, barrier.clone(), RACES))
+        .collect();
+
+    barrier.wait();
+    // Kill the leaf shard mid-stream. Its sites answer everything already
+    // queued (with `SiteDown` where needed) before the loop exits.
+    let stopped = cluster.stop_shard(0);
+    let mut stopped_addrs: Vec<u32> = stopped.iter().map(|a| a.addr.0).collect();
+    stopped_addrs.sort_unstable();
+    assert_eq!(stopped_addrs, vec![2, 4], "shard 0 owns the even leaf sites");
+
+    let (mut exact, mut partial, mut down) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (e, p, d) = h.join().unwrap();
+        exact += e;
+        partial += p;
+        down += d;
+    }
+    assert_eq!(exact + partial + down, CLIENTS * RACES as u64);
+    // Non-vacuity: the surviving root shard kept answering, and the dead
+    // leaves were actually observed — post-stop cross-neighborhood queries
+    // abandon their asks and degrade to partial.
+    assert!(
+        partial + down > 0,
+        "no query ever observed the stopped shard (exact={exact})"
+    );
+
+    let remaining = cluster.shutdown();
+    assert_eq!(remaining.len(), 1, "only the root site should remain");
+    assert_eq!(remaining[0].addr, SiteAddr(1));
+    // The root abandoned its asks to the dead leaves rather than leaking
+    // them; fail_pending on stop guarantees nothing is still gathering.
+    assert!(
+        remaining[0].stats.asks_abandoned > 0,
+        "retries to dead sites never abandoned"
+    );
+}
+
+#[test]
+fn full_shutdown_races_clients_without_stranding_them() {
+    let cluster = build(2);
+    const CLIENTS: u64 = 4;
+    const RACES: usize = 20;
+    let barrier = Arc::new(Barrier::new(CLIENTS as usize + 1));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| client_body(&cluster, c, barrier.clone(), RACES))
+        .collect();
+
+    barrier.wait();
+    let _agents = cluster.shutdown();
+
+    let (mut exact, mut partial, mut down) = (0u64, 0u64, 0u64);
+    for h in handles {
+        let (e, p, d) = h.join().unwrap();
+        exact += e;
+        partial += p;
+        down += d;
+    }
+    assert_eq!(exact + partial + down, CLIENTS * RACES as u64);
+    // The cluster is gone by the time the dust settles, so the tail of
+    // every client's stream must have hit the fail-fast path.
+    assert!(down > 0, "no query ever observed the shutdown");
+}

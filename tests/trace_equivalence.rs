@@ -22,7 +22,7 @@ use irisobs::{
     check_well_formed, explain_tree, render_explain, structure_digest, CacheOutcome,
     Forest, MemRecorder, SpanKind,
 };
-use simnet::{CostModel, DesCluster, LiveCluster};
+use simnet::{CostModel, DesCluster, LiveCluster, ShardConfig, ShardedCluster};
 
 fn params() -> DbParams {
     DbParams {
@@ -100,6 +100,29 @@ fn live_forest(db: &ParkingDb) -> Forest {
     check_well_formed(&rec.take_spans()).expect("live forest well-formed")
 }
 
+fn sharded_forest(db: &ParkingDb, shards: usize, force_wire: bool) -> Forest {
+    let mut cluster = ShardedCluster::with_config(
+        db.service.clone(),
+        ShardConfig { shards, workers_per_shard: 1, force_wire },
+    );
+    let rec = MemRecorder::new();
+    cluster.set_recorder(rec.clone());
+    let (oa1, oa2) = make_agents(db);
+    cluster.register_owner(&db.root_path(), SiteAddr(1));
+    cluster.register_owner(&db.neighborhood_path(0, 1), SiteAddr(2));
+    cluster.add_site(oa1);
+    cluster.add_site(oa2);
+    cluster.start();
+    for q in queries(db) {
+        let r = cluster
+            .pose_query_at(&q, SiteAddr(1), Duration::from_secs(10))
+            .expect("sharded reply");
+        assert!(r.ok, "sharded answer failed: {}", r.answer_xml);
+    }
+    cluster.shutdown();
+    check_well_formed(&rec.take_spans()).expect("sharded forest well-formed")
+}
+
 #[test]
 fn des_and_live_traces_are_structurally_identical() {
     let db = ParkingDb::generate(params(), 42);
@@ -111,6 +134,27 @@ fn des_and_live_traces_are_structurally_identical() {
         let dd = structure_digest(d);
         let ld = structure_digest(l);
         assert_eq!(dd, ld, "query {i}: DES and live trace shapes diverged");
+    }
+}
+
+#[test]
+fn des_and_sharded_traces_are_structurally_identical() {
+    // Span stitching must survive the multiplexed runtime and the wire
+    // boundary: same digests at 1, 2 and 8 shards, framed or not.
+    let db = ParkingDb::generate(params(), 42);
+    let des = des_forest(&db);
+    assert_eq!(des.queries.len(), 2);
+    for (shards, force_wire) in [(1, false), (2, true), (8, true)] {
+        let sharded = sharded_forest(&db, shards, force_wire);
+        assert_eq!(sharded.queries.len(), 2, "at {shards} shards");
+        for (i, (d, s)) in des.queries.iter().zip(sharded.queries.iter()).enumerate() {
+            assert_eq!(
+                structure_digest(d),
+                structure_digest(s),
+                "query {i}: DES and sharded ({shards} shards, wire={force_wire}) \
+                 trace shapes diverged"
+            );
+        }
     }
 }
 

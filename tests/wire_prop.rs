@@ -1,0 +1,255 @@
+//! Wire-format properties: every [`Message`] variant — including the
+//! clones the fault plane produces for duplicated and delayed copies —
+//! must survive an encode/decode roundtrip bit-exactly, streams of
+//! concatenated frames must split back into the same messages, and the
+//! frame layout itself is pinned by golden bytes: any byte-level change to
+//! the format is a protocol version bump, not a silent re-encode.
+
+use irisdns::SiteAddr;
+use irisnet_core::{Endpoint, IdPath, Message};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simnet::{decode_frame, encode_frame, split_frame, WireError, WIRE_VERSION};
+
+/// Strings: printable ASCII (XPath/XML-ish, with quotes and brackets) or
+/// arbitrary unicode, so multi-byte UTF-8 crosses the length-prefixed
+/// encoding.
+fn text() -> Strat<String> {
+    prop_oneof![
+        "[ -~]{0,40}",
+        vec(any::<char>(), 0..12).prop_map(|cs| cs.into_iter().collect()),
+    ]
+}
+
+fn path() -> Strat<IdPath> {
+    vec(("[a-zA-Z]{1,10}", "[a-zA-Z0-9 ]{0,10}"), 0..=4).prop_map(IdPath::from_pairs)
+}
+
+fn site() -> Strat<SiteAddr> {
+    (0u32..=u32::MAX).prop_map(SiteAddr)
+}
+
+/// Every `Message` variant, weighted evenly.
+fn message() -> Strat<Message> {
+    prop_oneof![
+        (any::<u64>(), text(), any::<u64>()).prop_map(|(qid, text, ep)| {
+            Message::UserQuery { qid, text, endpoint: Endpoint(ep) }
+        }),
+        (any::<u64>(), text(), site()).prop_map(|(qid, text, reply_to)| {
+            Message::SubQuery { qid, text, reply_to }
+        }),
+        (vec((any::<u64>(), text()), 0..6), site()).prop_map(|(entries, reply_to)| {
+            Message::SubQueryBatch { entries, reply_to }
+        }),
+        (any::<u64>(), text(), any::<bool>()).prop_map(|(qid, fragment_xml, partial)| {
+            Message::SubAnswer { qid, fragment_xml, partial }
+        }),
+        (path(), vec((text(), text()), 0..5)).prop_map(|(path, fields)| {
+            Message::Update { path, fields }
+        }),
+        (path(), site()).prop_map(|(path, to)| Message::Delegate { path, to }),
+        (path(), text(), site()).prop_map(|(path, fragment_xml, from)| {
+            Message::TakeOwnership { path, fragment_xml, from }
+        }),
+        (path(), site()).prop_map(|(path, new_owner)| Message::TakeAck { path, new_owner }),
+        (any::<u64>(), text(), any::<u64>()).prop_map(|(qid, text, ep)| {
+            Message::Subscribe { qid, text, endpoint: Endpoint(ep) }
+        }),
+        any::<u64>().prop_map(|qid| Message::Unsubscribe { qid }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on every variant.
+    #[test]
+    fn roundtrip_is_identity(msg in message()) {
+        let frame = encode_frame(&msg);
+        prop_assert!(frame.len() >= 5, "frame shorter than its header");
+        prop_assert_eq!(frame[0], WIRE_VERSION);
+        let back = decode_frame(&frame);
+        prop_assert_eq!(back.as_ref(), Ok(&msg), "roundtrip diverged");
+    }
+
+    /// The fault plane duplicates and delays *clones* of a message; the
+    /// copy's frame must be byte-identical to the original's, so a framed
+    /// duplicate is indistinguishable on the wire — the idempotent-retry
+    /// guarantee doesn't depend on which copy arrives.
+    #[test]
+    fn duplicated_copies_encode_identically(msg in message()) {
+        let original = encode_frame(&msg);
+        let duplicate = encode_frame(&msg.clone());
+        let delayed = encode_frame(&msg.clone());
+        prop_assert_eq!(&original, &duplicate);
+        prop_assert_eq!(&original, &delayed);
+    }
+
+    /// Concatenated frames — a TCP receive buffer holding several sends —
+    /// split back into the same message sequence, and a truncated tail is
+    /// reported as `Truncated`, never misparsed.
+    #[test]
+    fn frame_streams_split_losslessly(msgs in vec(message(), 1..6), cut in any::<u16>()) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        let mut rest: &[u8] = &stream;
+        let mut got = Vec::new();
+        while !rest.is_empty() {
+            let (m, r) = split_frame(rest).expect("whole stream splits");
+            got.push(m);
+            rest = r;
+        }
+        prop_assert_eq!(&got, &msgs, "stream split diverged");
+
+        // Any strict prefix of a single frame is truncated, not misread.
+        let first = encode_frame(&msgs[0]);
+        let cut = (cut as usize) % first.len();
+        if cut > 0 {
+            prop_assert_eq!(
+                split_frame(&first[..cut]).err(),
+                Some(WireError::Truncated),
+                "prefix of length {} misparsed", cut
+            );
+        }
+    }
+
+    /// Flipping the version byte is always rejected, whatever the payload.
+    #[test]
+    fn wrong_version_is_rejected(msg in message(), v in 0u8..=u8::MAX) {
+        let mut frame = encode_frame(&msg);
+        if v != WIRE_VERSION {
+            frame[0] = v;
+            prop_assert_eq!(decode_frame(&frame), Err(WireError::Version(v)));
+        }
+    }
+}
+
+/// Golden bytes: the exact frame layout of one representative of every
+/// variant, written out byte by byte. If any of these assertions break,
+/// the wire format changed — bump [`WIRE_VERSION`] and migrate, don't
+/// silently re-encode.
+#[test]
+fn golden_frame_layout() {
+    // UserQuery { qid: 7, text: "/a", endpoint: 9 }
+    // [ver][len u32 LE][tag][qid u64 LE][endpoint u64 LE][text len u32 LE][text]
+    let frame = encode_frame(&Message::UserQuery {
+        qid: 7,
+        text: "/a".into(),
+        endpoint: Endpoint(9),
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,                       // version
+        23, 0, 0, 0,             // payload length = 1 + 8 + 8 + 4 + 2
+        1,                       // tag: UserQuery
+        7, 0, 0, 0, 0, 0, 0, 0,  // qid
+        9, 0, 0, 0, 0, 0, 0, 0,  // endpoint
+        2, 0, 0, 0,              // text length
+        b'/', b'a',              // text
+    ];
+    assert_eq!(frame, expected, "UserQuery frame layout changed");
+
+    // SubQuery { qid: 0x0102, text: "q", reply_to: 3 }
+    let frame = encode_frame(&Message::SubQuery {
+        qid: 0x0102,
+        text: "q".into(),
+        reply_to: SiteAddr(3),
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,
+        18, 0, 0, 0,                // 1 + 8 + 4 + 4 + 1
+        2,                          // tag: SubQuery
+        0x02, 0x01, 0, 0, 0, 0, 0, 0,
+        3, 0, 0, 0,                 // reply_to u32
+        1, 0, 0, 0, b'q',
+    ];
+    assert_eq!(frame, expected, "SubQuery frame layout changed");
+
+    // SubQueryBatch { entries: [(1, "a"), (2, "")], reply_to: 5 }
+    let frame = encode_frame(&Message::SubQueryBatch {
+        entries: vec![(1, "a".into()), (2, String::new())],
+        reply_to: SiteAddr(5),
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,
+        34, 0, 0, 0,                // 1 + 4 + 4 + (8+4+1) + (8+4+0)
+        3,                          // tag: SubQueryBatch
+        5, 0, 0, 0,                 // reply_to
+        2, 0, 0, 0,                 // entry count
+        1, 0, 0, 0, 0, 0, 0, 0,  1, 0, 0, 0, b'a',
+        2, 0, 0, 0, 0, 0, 0, 0,  0, 0, 0, 0,
+    ];
+    assert_eq!(frame, expected, "SubQueryBatch frame layout changed");
+
+    // SubAnswer { qid: 4, fragment_xml: "<x/>", partial: true }
+    let frame = encode_frame(&Message::SubAnswer {
+        qid: 4,
+        fragment_xml: "<x/>".into(),
+        partial: true,
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,
+        18, 0, 0, 0,                // 1 + 8 + 1 + 4 + 4
+        4,                          // tag: SubAnswer
+        4, 0, 0, 0, 0, 0, 0, 0,
+        1,                          // partial = true
+        4, 0, 0, 0, b'<', b'x', b'/', b'>',
+    ];
+    assert_eq!(frame, expected, "SubAnswer frame layout changed");
+
+    // Update { path: [("a","b")], fields: [("k","v")] }
+    let frame = encode_frame(&Message::Update {
+        path: IdPath::from_pairs([("a", "b")]),
+        fields: vec![("k".into(), "v".into())],
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,
+        29, 0, 0, 0,                // 1 + (4 + 5 + 5) + 4 + (5 + 5)
+        5,                          // tag: Update
+        1, 0, 0, 0,                 // path segment count
+        1, 0, 0, 0, b'a',  1, 0, 0, 0, b'b',
+        1, 0, 0, 0,                 // field count
+        1, 0, 0, 0, b'k',  1, 0, 0, 0, b'v',
+    ];
+    assert_eq!(frame, expected, "Update frame layout changed");
+
+    // Delegate / TakeOwnership / TakeAck / Subscribe / Unsubscribe tags.
+    let p = IdPath::from_pairs([("a", "b")]);
+    for (msg, tag) in [
+        (Message::Delegate { path: p.clone(), to: SiteAddr(1) }, 6u8),
+        (
+            Message::TakeOwnership {
+                path: p.clone(),
+                fragment_xml: String::new(),
+                from: SiteAddr(1),
+            },
+            7,
+        ),
+        (Message::TakeAck { path: p, new_owner: SiteAddr(1) }, 8),
+        (Message::Subscribe { qid: 1, text: String::new(), endpoint: Endpoint(1) }, 9),
+        (Message::Unsubscribe { qid: 1 }, 10),
+    ] {
+        let frame = encode_frame(&msg);
+        assert_eq!(frame[0], 1, "version byte");
+        assert_eq!(frame[5], tag, "payload tag for {msg:?}");
+        let len = u32::from_le_bytes(frame[1..5].try_into().unwrap()) as usize;
+        assert_eq!(frame.len(), 5 + len, "length prefix for {msg:?}");
+    }
+
+    // Unsubscribe in full: the smallest frame.
+    let frame = encode_frame(&Message::Unsubscribe { qid: 0x0A0B0C0D });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,
+        9, 0, 0, 0,                 // 1 + 8
+        10,                         // tag: Unsubscribe
+        0x0D, 0x0C, 0x0B, 0x0A, 0, 0, 0, 0,
+    ];
+    assert_eq!(frame, expected, "Unsubscribe frame layout changed");
+}

@@ -1,16 +1,18 @@
-//! Worker-count equivalence: the intra-site read-worker pool must not
-//! change *what* a site answers, only how fast. The same t1/t3 query mix,
-//! posed in the same order against identically bootstrapped clusters, must
-//! produce byte-identical canonical answers for worker counts 1, 2 and 8 —
-//! and must match the serial discrete-event simulator, which doubles as
-//! the correctness oracle.
+//! Worker-count and shard-count equivalence: neither the intra-site
+//! read-worker pool nor the sharded event-loop runtime may change *what* a
+//! site answers, only how fast. The same t1/t3 query mix, posed in the
+//! same order against identically bootstrapped clusters, must produce
+//! byte-identical canonical answers for worker counts 1, 2 and 8, for
+//! shard counts 1, 2 and 8 (with and without forced wire framing) — and
+//! must match the serial discrete-event simulator, which doubles as the
+//! correctness oracle.
 
 use std::time::Duration;
 
 use irisdns::SiteAddr;
 use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
 use irisnet_core::{Endpoint, Message, OaConfig, OrganizingAgent, Status};
-use simnet::{CostModel, DesCluster, LiveCluster};
+use simnet::{CostModel, DesCluster, LiveCluster, ShardConfig, ShardedCluster};
 
 fn params() -> DbParams {
     DbParams {
@@ -69,6 +71,38 @@ fn live_answers(db: &ParkingDb, workers: usize) -> Vec<String> {
     answers
 }
 
+fn sharded_answers(
+    db: &ParkingDb,
+    shards: usize,
+    workers_per_shard: usize,
+    force_wire: bool,
+) -> Vec<String> {
+    let mut cluster = ShardedCluster::with_config(
+        db.service.clone(),
+        ShardConfig { shards, workers_per_shard, force_wire },
+    );
+    let (oa1, oa2) = make_agents(db);
+    cluster.register_owner(&db.root_path(), SiteAddr(1));
+    cluster.register_owner(&db.neighborhood_path(0, 1), SiteAddr(2));
+    cluster.add_site(oa1);
+    cluster.add_site(oa2);
+    cluster.start();
+    let answers = query_mix(db)
+        .iter()
+        .map(|q| {
+            let r = cluster.pose_query(q, Duration::from_secs(30)).expect("reply");
+            assert!(
+                r.ok,
+                "query failed at {shards} shards (wire={force_wire}): {q}: {}",
+                r.answer_xml
+            );
+            canon(&r.answer_xml)
+        })
+        .collect();
+    cluster.shutdown();
+    answers
+}
+
 #[test]
 fn answers_identical_across_worker_counts() {
     let db = ParkingDb::generate(params(), 42);
@@ -78,6 +112,54 @@ fn answers_identical_across_worker_counts() {
         let got = live_answers(&db, workers);
         assert_eq!(serial, got, "answers diverged at {workers} workers");
     }
+}
+
+#[test]
+fn answers_identical_across_shard_counts() {
+    let db = ParkingDb::generate(params(), 42);
+    let serial = live_answers(&db, 0);
+    for shards in [1, 2, 8] {
+        let got = sharded_answers(&db, shards, 1, false);
+        assert_eq!(serial, got, "answers diverged at {shards} shards");
+    }
+    // The wire codec must be semantically invisible: frame every send,
+    // including same-shard ones.
+    let wired = sharded_answers(&db, 2, 1, true);
+    assert_eq!(serial, wired, "answers diverged under forced wire framing");
+    // Inline reads on the shard loop (zero workers) are the serial path.
+    let inline = sharded_answers(&db, 2, 0, false);
+    assert_eq!(serial, inline, "answers diverged with inline shard reads");
+}
+
+#[test]
+fn sharded_answers_match_des_oracle() {
+    let db = ParkingDb::generate(params(), 42);
+    let sharded = sharded_answers(&db, 2, 1, true);
+
+    let mut sim = DesCluster::new(CostModel::default());
+    let (oa1, oa2) = make_agents(&db);
+    let svc = db.service.clone();
+    sim.dns.register(&svc.dns_name(&db.root_path()), SiteAddr(1));
+    sim.dns
+        .register(&svc.dns_name(&db.neighborhood_path(0, 1)), SiteAddr(2));
+    sim.add_site(oa1);
+    sim.add_site(oa2);
+    let queries = query_mix(&db);
+    for (i, q) in queries.iter().enumerate() {
+        sim.schedule_message(
+            i as f64 * 50.0,
+            SiteAddr(1),
+            Message::UserQuery {
+                qid: i as u64 + 1,
+                text: q.clone(),
+                endpoint: Endpoint(10_000 + i as u64),
+            },
+        );
+    }
+    sim.run_until(queries.len() as f64 * 50.0 + 50.0);
+    let des: Vec<String> =
+        sim.take_unclaimed_replies().iter().map(|x| canon(x)).collect();
+    assert_eq!(sharded, des, "sharded runtime answers diverge from the DES oracle");
 }
 
 #[test]
