@@ -26,6 +26,9 @@ pub enum CoreError {
     /// The target site has shut down (or is shutting down): its pending
     /// work is completed with this error instead of blocking callers.
     SiteDown,
+    /// The durability plane failed (backend I/O, or recovery applied to a
+    /// non-empty database).
+    Storage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -39,6 +42,7 @@ impl fmt::Display for CoreError {
             CoreError::Protocol(m) => write!(f, "protocol error: {m}"),
             CoreError::Unresolvable(m) => write!(f, "unresolvable site name: {m}"),
             CoreError::SiteDown => write!(f, "site down"),
+            CoreError::Storage(m) => write!(f, "storage: {m}"),
         }
     }
 }

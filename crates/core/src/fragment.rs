@@ -21,6 +21,7 @@ use sensorxml::{Document, NodeId};
 use crate::error::{CoreError, CoreResult};
 use crate::idable::{copy_local_id_information, IdPath, STATUS_ATTR};
 use crate::service::Service;
+use crate::storage::{RecoveredState, RecoveryStats, SiteWal, WalRecord};
 
 /// Knowledge level for an IDable node at a site (§3.2).
 ///
@@ -70,16 +71,143 @@ impl Status {
 }
 
 /// A site's fragment database.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SiteDatabase {
     service: Arc<Service>,
     doc: Document,
+    /// Write-ahead log handle; when attached, every mutation method
+    /// appends a [`WalRecord`] after it succeeds.
+    wal: Option<Arc<SiteWal>>,
+}
+
+/// Clones never carry the durability handle: the agent clones the
+/// database into ephemeral scratch overlays for query evaluation, and
+/// those merges must not reach the owner's log.
+impl Clone for SiteDatabase {
+    fn clone(&self) -> SiteDatabase {
+        SiteDatabase { service: self.service.clone(), doc: self.doc.clone(), wal: None }
+    }
 }
 
 impl SiteDatabase {
     /// An empty database for `service`.
     pub fn new(service: Arc<Service>) -> SiteDatabase {
-        SiteDatabase { service, doc: Document::new() }
+        SiteDatabase { service, doc: Document::new(), wal: None }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability (core::storage)
+    // ------------------------------------------------------------------
+
+    /// Attaches a write-ahead log: from now on every successful mutation
+    /// appends a record to it. The caller should snapshot right after
+    /// attaching (state present *before* the log opened is not in it).
+    pub fn attach_wal(&mut self, wal: Arc<SiteWal>) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches and returns the log handle, if any.
+    pub fn detach_wal(&mut self) -> Option<Arc<SiteWal>> {
+        self.wal.take()
+    }
+
+    /// The attached log handle, if any.
+    pub fn wal(&self) -> Option<&Arc<SiteWal>> {
+        self.wal.as_ref()
+    }
+
+    fn log(&self, rec: WalRecord) {
+        if let Some(w) = &self.wal {
+            w.append(&rec);
+        }
+    }
+
+    fn mark_dirty(&self) {
+        if let Some(w) = &self.wal {
+            w.mark_dirty();
+        }
+    }
+
+    /// The full database state, serialized with internal status/timestamp
+    /// attributes — the payload of a snapshot segment. The empty database
+    /// serializes to `""`.
+    pub fn snapshot_xml(&self) -> String {
+        self.doc
+            .root()
+            .map(|r| sensorxml::serialize(&self.doc, r))
+            .unwrap_or_default()
+    }
+
+    /// A canonical digest of the database state (attribute-order
+    /// independent); two databases with equal digests hold identical
+    /// fragments. Used by the compaction proptests for state equality.
+    pub fn state_digest(&self) -> String {
+        self.doc
+            .root()
+            .map(|r| sensorxml::canonical_string(&self.doc, r))
+            .unwrap_or_default()
+    }
+
+    /// Rebuilds this (empty) database from recovered durable state: the
+    /// snapshot becomes the base document and the WAL tail replays through
+    /// the same mutation methods that produced it. Logging is suppressed
+    /// during replay; on success the recovery is reported to the attached
+    /// wal (if any).
+    pub fn restore_from(&mut self, recovered: &RecoveredState) -> CoreResult<RecoveryStats> {
+        if self.doc.root().is_some() {
+            return Err(CoreError::Storage(
+                "restore_from requires an empty database".into(),
+            ));
+        }
+        let started = std::time::Instant::now();
+        let wal = self.wal.take(); // suppress re-logging while replaying
+        let mut stats = RecoveryStats {
+            snapshot_loaded: false,
+            records_replayed: 0,
+            torn_bytes: recovered.torn_bytes,
+            replay_ms: 0.0,
+        };
+        let result = (|| -> CoreResult<()> {
+            if let Some(xml) = &recovered.snapshot_xml {
+                if !xml.is_empty() {
+                    self.doc = sensorxml::parse(xml)?;
+                }
+                stats.snapshot_loaded = true;
+            }
+            for rec in &recovered.records {
+                match rec {
+                    WalRecord::Update { path, fields, ts } => {
+                        self.apply_update(path, fields, *ts)?;
+                    }
+                    WalRecord::Merge { fragment_xml } => {
+                        let frag = sensorxml::parse(fragment_xml)?;
+                        self.merge_fragment(&frag)?;
+                    }
+                    WalRecord::Evict { path } => self.evict(path)?,
+                    WalRecord::SetStatus { path, status, subtree } => {
+                        if *subtree {
+                            self.set_status_subtree(path, *status)?;
+                        } else {
+                            self.set_status(path, *status)?;
+                        }
+                    }
+                    WalRecord::Snapshot { .. } => {
+                        return Err(CoreError::Storage(
+                            "snapshot record inside a WAL segment".into(),
+                        ));
+                    }
+                }
+                stats.records_replayed += 1;
+            }
+            Ok(())
+        })();
+        self.wal = wal;
+        result?;
+        stats.replay_ms = started.elapsed().as_secs_f64() * 1e3;
+        if let Some(w) = &self.wal {
+            w.note_recovery(&stats);
+        }
+        Ok(stats)
     }
 
     /// The underlying fragment document (with `status`/timestamp
@@ -89,8 +217,11 @@ impl SiteDatabase {
     }
 
     /// Mutable access for in-crate surgery (schema changes); invariants
-    /// remain the caller's responsibility.
+    /// remain the caller's responsibility. Raw surgery is not expressible
+    /// as a WAL record, so the log is marked dirty: the next quiescent
+    /// point snapshots the whole state instead.
     pub(crate) fn doc_mut(&mut self) -> &mut Document {
+        self.mark_dirty();
         &mut self.doc
     }
 
@@ -124,6 +255,7 @@ impl SiteDatabase {
             .resolve(&self.doc)
             .ok_or_else(|| CoreError::Protocol(format!("no node at {path}")))?;
         self.doc.set_attr(n, STATUS_ATTR, status.as_str());
+        self.log(WalRecord::SetStatus { path: path.clone(), status, subtree: false });
         Ok(())
     }
 
@@ -152,6 +284,7 @@ impl SiteDatabase {
             }
             self.doc.set_attr(node, STATUS_ATTR, status.as_str());
         }
+        self.log(WalRecord::SetStatus { path: path.clone(), status, subtree: true });
         Ok(())
     }
 
@@ -187,8 +320,11 @@ impl SiteDatabase {
         })?;
         // Ensure the ancestor ID chain (with sibling IDs) exists.
         self.ensure_ancestor_chain(master, path)?;
-        // Copy the node itself.
-        self.install_from_master(master, target, path, subtree, Status::Owned)
+        // Copy the node itself. Bootstrapping is setup-time state the WAL
+        // cannot express; the dirty flag forces a snapshot to capture it.
+        self.install_from_master(master, target, path, subtree, Status::Owned)?;
+        self.mark_dirty();
+        Ok(())
     }
 
     /// Caches the node at `path` from the master document with status
@@ -204,7 +340,9 @@ impl SiteDatabase {
             CoreError::Protocol(format!("master document has no node at {path}"))
         })?;
         self.ensure_ancestor_chain(master, path)?;
-        self.install_from_master(master, target, path, subtree, Status::Complete)
+        self.install_from_master(master, target, path, subtree, Status::Complete)?;
+        self.mark_dirty();
+        Ok(())
     }
 
     /// Makes sure every strict ancestor of `path` is present with at least
@@ -377,7 +515,6 @@ impl SiteDatabase {
             None => {
                 let copied = frag.deep_copy_into(frag_root, &mut self.doc);
                 self.doc.set_root(copied)?;
-                Ok(())
             }
             Some(root) => {
                 if self.doc.name(root) != frag.name(frag_root)
@@ -388,9 +525,16 @@ impl SiteDatabase {
                     ));
                 }
                 self.merge_nodes(frag, frag_root, root);
-                Ok(())
             }
         }
+        if self.wal.is_some() {
+            // Serialized only when a log is attached; replay re-merges the
+            // identical fragment (merging is deterministic).
+            self.log(WalRecord::Merge {
+                fragment_xml: sensorxml::serialize(frag, frag_root),
+            });
+        }
+        Ok(())
     }
 
     /// Recursive merge of `theirs` (in `frag`) into `ours`.
@@ -789,6 +933,7 @@ impl SiteDatabase {
         }
         let ts_field = self.service.timestamp_field.clone();
         self.doc.set_attr(node, ts_field, format_ts(ts));
+        self.log(WalRecord::Update { path: path.clone(), fields: fields.to_vec(), ts });
         Ok(())
     }
 
@@ -818,6 +963,7 @@ impl SiteDatabase {
         }
         self.doc
             .set_attr(node, STATUS_ATTR, Status::Incomplete.as_str());
+        self.log(WalRecord::Evict { path: path.clone() });
         Ok(())
     }
 

@@ -31,6 +31,7 @@ pub mod qeg;
 pub mod routing;
 pub mod schema_change;
 pub mod service;
+pub mod storage;
 
 pub use agent::{
     perform_read, CacheMode, Endpoint, HandleOutcome, Message, OaConfig, OaStats,
@@ -46,3 +47,7 @@ pub use obs::ObsPlane;
 pub use qeg::{QegFactory, QegOutcome, XsltCreation};
 pub use routing::lca_dns_name;
 pub use service::{Schema, Service};
+pub use storage::{
+    DurabilityConfig, FileBackend, MemoryBackend, RecoveredState, RecoveryStats,
+    SiteStore, SiteWal, StorageBackend, StorageError, WalRecord,
+};

@@ -1,0 +1,555 @@
+//! Durable segment-based fragment storage (ROADMAP item 1).
+//!
+//! Each site may attach a [`SiteStore`]: a per-site **write-ahead log** of
+//! fragment mutations (update / merge / evict / migrate, as
+//! [`WalRecord`]s — length-framed, versioned, CRC-checksummed like
+//! `simnet::wire` frames) plus periodic **snapshots**, organized as
+//! time-partitioned sealed segments over a pluggable [`StorageBackend`]
+//! ([`MemoryBackend`] / [`FileBackend`]).
+//!
+//! ## Segment lifecycle (active → sealed → expired)
+//!
+//! Mutations append to the *active* WAL segment `wal-<seq>.seg`. Writing a
+//! snapshot seals it: the snapshot becomes segment `snap-<seq+1>.seg`
+//! (holding one checksummed [`WalRecord::Snapshot`]), a fresh WAL segment
+//! opens, and every segment older than the snapshot is *superseded* —
+//! recovery will never read it, so it can be expired with one O(1)
+//! `remove` per whole segment, no content scan
+//! ([`DurabilityConfig::retain_segments`] keeps a bounded history). Each
+//! segment header carries the substrate-clock time at which it opened
+//! (`t_lo`), so retention is by *time window*, which fits sensor data's
+//! append-heavy, recency-weighted shape.
+//!
+//! ## Recovery
+//!
+//! [`SiteStore::open`] scans the backend: the newest intact snapshot is
+//! the base state, and WAL segments with a higher sequence number replay
+//! on top, in order, **stopping cleanly at the first invalid record** — a
+//! torn tail (truncated or bit-flipped by a crash mid-append) loses at
+//! most the mutations after the last valid checksum and can never
+//! resurrect a half-applied one, because records apply atomically after
+//! full validation. [`SiteDatabase::restore_from`] replays the recovered
+//! state through the very mutation methods that produced it.
+//!
+//! Appends happen inside `SiteDatabase`'s mutation methods, which the
+//! organizing agent only calls on its owner loop — the read path never
+//! touches the log. Snapshots run at owner-loop quiescent points, next to
+//! the cache sweep.
+
+mod backend;
+mod record;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub use backend::{FileBackend, MemoryBackend, StorageBackend, StorageError};
+pub use record::{
+    crc32, encode_record, encode_segment_header, split_record, split_segment_header,
+    RecordError, SegmentHeader, WalRecord, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN,
+    SEGMENT_KIND_SNAPSHOT, SEGMENT_KIND_WAL, SEGMENT_MAGIC, STORE_VERSION,
+};
+
+/// Tuning knobs for a site's durability plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Automatic snapshot cadence: after this many WAL records a snapshot
+    /// is taken at the next owner-loop quiescent point (0 = only explicit
+    /// snapshots).
+    pub snapshot_every: u64,
+    /// How many superseded sealed segments to retain as history windows;
+    /// older ones are expired O(1) at snapshot time. 0 keeps only the live
+    /// snapshot + active WAL.
+    pub retain_segments: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig { snapshot_every: 256, retain_segments: 0 }
+    }
+}
+
+/// A sealed (no longer written) segment known to the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedSegment {
+    pub name: String,
+    pub kind: u8,
+    pub seq: u64,
+    /// Substrate-clock time at which the segment opened.
+    pub t_lo: f64,
+}
+
+/// Everything [`SiteStore::open`] could recover from the backend.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Serialized database state of the newest intact snapshot (internal
+    /// attributes included). `None` on a fresh store; `Some("")` is a
+    /// snapshot of the empty database.
+    pub snapshot_xml: Option<String>,
+    /// WAL records to replay on top of the snapshot, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded after the last valid record (torn/corrupt tail).
+    pub torn_bytes: usize,
+    /// Segments scanned during recovery.
+    pub segments_scanned: usize,
+}
+
+impl RecoveredState {
+    /// True when the backend held no usable state at all.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot_xml.is_none() && self.records.is_empty()
+    }
+}
+
+/// Outcome of a completed recovery ([`SiteDatabase::restore_from`]),
+/// mirrored into `recovery.*` metrics by the agent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    pub snapshot_loaded: bool,
+    pub records_replayed: u64,
+    pub torn_bytes: usize,
+    /// Wall-clock milliseconds spent parsing the snapshot and replaying
+    /// the log tail.
+    pub replay_ms: f64,
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:016x}.seg")
+}
+
+fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:016x}.seg")
+}
+
+/// The per-site segment store: framing, sealing, recovery and expiry over
+/// a [`StorageBackend`]. One instance per site; the agent serializes all
+/// access through its owner loop (via [`SiteWal`]).
+#[derive(Debug)]
+pub struct SiteStore {
+    backend: Box<dyn StorageBackend>,
+    config: DurabilityConfig,
+    /// Next segment sequence number to allocate.
+    next_seq: u64,
+    /// Active WAL segment (created lazily on first append).
+    active: Option<(String, u64)>,
+    /// Records appended to the active segment.
+    active_records: u64,
+    /// Seq of the newest durable snapshot.
+    snapshot_seq: Option<u64>,
+    /// Sealed segments still present on the backend, ascending seq.
+    sealed: Vec<SealedSegment>,
+}
+
+impl SiteStore {
+    /// Opens a store over `backend`, recovering whatever intact state it
+    /// holds. New appends always go to a *fresh* segment — nothing is ever
+    /// written after a possibly-torn tail.
+    pub fn open(
+        backend: Box<dyn StorageBackend>,
+        config: DurabilityConfig,
+    ) -> Result<(SiteStore, RecoveredState), StorageError> {
+        let mut segments: Vec<(SegmentHeader, String, Vec<u8>)> = Vec::new();
+        for name in backend.list()? {
+            let Some(bytes) = backend.read(&name)? else { continue };
+            // Segments with unreadable headers are ignored (and left in
+            // place for forensics), never misreplayed.
+            if let Ok((header, body)) = split_segment_header(&bytes) {
+                segments.push((header, name, body.to_vec()));
+            }
+        }
+        segments.sort_by_key(|(h, _, _)| h.seq);
+        let segments_scanned = segments.len();
+
+        // Newest snapshot whose single record is intact is the base state.
+        let mut snapshot_xml = None;
+        let mut snapshot_seq = None;
+        for (h, _, body) in segments.iter().rev() {
+            if h.kind != SEGMENT_KIND_SNAPSHOT {
+                continue;
+            }
+            if let Ok((WalRecord::Snapshot { xml }, _)) = split_record(body) {
+                snapshot_xml = Some(xml);
+                snapshot_seq = Some(h.seq);
+                break;
+            }
+        }
+
+        // Replay WAL segments after the snapshot, in order, stopping at
+        // the first invalid record anywhere: applying a later segment
+        // across a torn one would reorder mutations.
+        let mut records = Vec::new();
+        let mut torn_bytes = 0usize;
+        'outer: for (h, _, body) in &segments {
+            if h.kind != SEGMENT_KIND_WAL || Some(h.seq) <= snapshot_seq {
+                continue;
+            }
+            let mut rest: &[u8] = body;
+            while !rest.is_empty() {
+                match split_record(rest) {
+                    Ok((rec, r)) => {
+                        records.push(rec);
+                        rest = r;
+                    }
+                    Err(_) => {
+                        torn_bytes = rest.len();
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let next_seq = segments.last().map_or(0, |(h, _, _)| h.seq + 1);
+        let sealed = segments
+            .into_iter()
+            .map(|(h, name, _)| SealedSegment { name, kind: h.kind, seq: h.seq, t_lo: h.t_lo })
+            .collect();
+        let store = SiteStore {
+            backend,
+            config,
+            next_seq,
+            active: None,
+            active_records: 0,
+            snapshot_seq,
+            sealed,
+        };
+        let recovered =
+            RecoveredState { snapshot_xml, records, torn_bytes, segments_scanned };
+        Ok((store, recovered))
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &DurabilityConfig {
+        &self.config
+    }
+
+    /// Appends one mutation record to the active WAL segment (creating it,
+    /// stamped with window start `now`, if none is open). Returns the
+    /// bytes written.
+    pub fn append(&mut self, rec: &WalRecord, now: f64) -> Result<usize, StorageError> {
+        let name = match &self.active {
+            Some((name, _)) => name.clone(),
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let name = wal_name(seq);
+                let header = encode_segment_header(&SegmentHeader {
+                    kind: SEGMENT_KIND_WAL,
+                    seq,
+                    t_lo: now,
+                });
+                self.backend.write(&name, &header)?;
+                self.active = Some((name.clone(), seq));
+                self.active_records = 0;
+                name
+            }
+        };
+        let bytes = encode_record(rec);
+        self.backend.append(&name, &bytes)?;
+        self.active_records += 1;
+        Ok(bytes.len())
+    }
+
+    /// Records appended to the active segment since it opened (i.e. since
+    /// the last snapshot or open).
+    pub fn active_records(&self) -> u64 {
+        self.active_records
+    }
+
+    /// Writes `xml` (a full serialized database state) as a new snapshot
+    /// segment, seals the active WAL, and expires superseded segments
+    /// beyond the retention budget — O(1) per expired segment.
+    pub fn write_snapshot(&mut self, xml: &str, now: f64) -> Result<(), StorageError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let name = snap_name(seq);
+        let mut bytes = encode_segment_header(&SegmentHeader {
+            kind: SEGMENT_KIND_SNAPSHOT,
+            seq,
+            t_lo: now,
+        });
+        bytes.extend_from_slice(&encode_record(&WalRecord::Snapshot { xml: xml.into() }));
+        self.backend.write(&name, &bytes)?;
+        if let Some((active_name, active_seq)) = self.active.take() {
+            self.sealed.push(SealedSegment {
+                name: active_name,
+                kind: SEGMENT_KIND_WAL,
+                seq: active_seq,
+                t_lo: now,
+            });
+        }
+        self.active_records = 0;
+        self.snapshot_seq = Some(seq);
+        self.sealed.push(SealedSegment {
+            name,
+            kind: SEGMENT_KIND_SNAPSHOT,
+            seq,
+            t_lo: now,
+        });
+        self.expire_superseded()?;
+        Ok(())
+    }
+
+    /// Drops superseded sealed segments (those recovery can no longer
+    /// need: seq below the newest snapshot) beyond the retention budget,
+    /// oldest windows first. Each expiry is a single backend `remove` —
+    /// whole-window, O(1), no content scan.
+    fn expire_superseded(&mut self) -> Result<(), StorageError> {
+        let Some(snap) = self.snapshot_seq else { return Ok(()) };
+        let superseded: Vec<usize> = self
+            .sealed
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.seq < snap)
+            .map(|(i, _)| i)
+            .collect();
+        if superseded.len() <= self.config.retain_segments {
+            return Ok(());
+        }
+        let drop_n = superseded.len() - self.config.retain_segments;
+        // `sealed` is seq-ascending, so the first `drop_n` superseded
+        // entries are the oldest windows.
+        let mut doomed: Vec<String> = Vec::with_capacity(drop_n);
+        for &i in superseded.iter().take(drop_n) {
+            doomed.push(self.sealed[i].name.clone());
+        }
+        for name in &doomed {
+            self.backend.remove(name)?;
+        }
+        self.sealed.retain(|s| !doomed.contains(&s.name));
+        Ok(())
+    }
+
+    /// Sealed segments currently present, ascending seq (inspection).
+    pub fn sealed_segments(&self) -> &[SealedSegment] {
+        &self.sealed
+    }
+
+    /// Total segments on the backend (sealed + active), for tests.
+    pub fn segment_count(&self) -> usize {
+        self.sealed.len() + usize::from(self.active.is_some())
+    }
+}
+
+/// The shared durability handle a [`crate::fragment::SiteDatabase`]
+/// carries: the store behind a mutex (appends are owner-loop-only, so the
+/// lock is uncontended) plus lock-free counters the metrics plane mirrors
+/// as `wal.*` / `recovery.*` series.
+#[derive(Debug)]
+pub struct SiteWal {
+    store: Mutex<SiteStore>,
+    appends: AtomicU64,
+    bytes: AtomicU64,
+    snapshots: AtomicU64,
+    append_errors: AtomicU64,
+    /// Substrate clock (f64 bits), refreshed by timestamped mutations and
+    /// snapshots; stamps new segment windows.
+    clock: AtomicU64,
+    /// Set when a non-WAL-expressible mutation happened (bootstrap, raw
+    /// document surgery): the next quiescent point must snapshot.
+    dirty: AtomicBool,
+    replays: AtomicU64,
+    replayed_records: AtomicU64,
+    /// Replay durations not yet mirrored into the metrics registry.
+    pending_replay_ms: Mutex<Vec<f64>>,
+}
+
+impl SiteWal {
+    pub fn new(store: SiteStore) -> SiteWal {
+        SiteWal {
+            store: Mutex::new(store),
+            appends: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+            clock: AtomicU64::new(0f64.to_bits()),
+            dirty: AtomicBool::new(false),
+            replays: AtomicU64::new(0),
+            replayed_records: AtomicU64::new(0),
+            pending_replay_ms: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn now(&self) -> f64 {
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    }
+
+    /// Advances the wal's notion of substrate time (monotone).
+    pub fn note_time(&self, now: f64) {
+        if now > self.now() {
+            self.clock.store(now.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Appends one mutation record. Backend failures are counted, not
+    /// propagated: the site keeps serving (availability over durability;
+    /// the error counter makes the gap observable).
+    pub fn append(&self, rec: &WalRecord) {
+        if let WalRecord::Update { ts, .. } = rec {
+            self.note_time(*ts);
+        }
+        let now = self.now();
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        match store.append(rec, now) {
+            Ok(n) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Flags that the database changed through a path the WAL cannot
+    /// express; the next [`SiteWal::should_snapshot`] check fires.
+    pub fn mark_dirty(&self) {
+        self.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// True when a snapshot is due (dirty flag, or the configured record
+    /// cadence elapsed). O(1); called from owner-loop quiescent checks.
+    pub fn should_snapshot(&self) -> bool {
+        if self.dirty.load(Ordering::Relaxed) {
+            return true;
+        }
+        let store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        let every = store.config.snapshot_every;
+        every != 0 && store.active_records() >= every
+    }
+
+    /// Writes `xml` as a new snapshot segment at time `now`.
+    pub fn snapshot(&self, xml: &str, now: f64) {
+        self.note_time(now);
+        let mut store = self.store.lock().unwrap_or_else(|e| e.into_inner());
+        match store.write_snapshot(xml, self.now()) {
+            Ok(()) => {
+                self.snapshots.fetch_add(1, Ordering::Relaxed);
+                self.dirty.store(false, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.append_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a completed recovery for the metrics plane.
+    pub fn note_recovery(&self, stats: &RecoveryStats) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.replayed_records.fetch_add(stats.records_replayed, Ordering::Relaxed);
+        self.pending_replay_ms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(stats.replay_ms);
+    }
+
+    /// Drains replay durations recorded since the last call (mirrored into
+    /// the `recovery.replay_ms` histogram at publish time).
+    pub fn drain_replay_ms(&self) -> Vec<f64> {
+        std::mem::take(
+            &mut *self.pending_replay_ms.lock().unwrap_or_else(|e| e.into_inner()),
+        )
+    }
+
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors.load(Ordering::Relaxed)
+    }
+
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    pub fn replayed_records(&self) -> u64 {
+        self.replayed_records.load(Ordering::Relaxed)
+    }
+
+    /// Segment count on the backend (tests/inspection).
+    pub fn segment_count(&self) -> usize {
+        self.store.lock().unwrap_or_else(|e| e.into_inner()).segment_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idable::IdPath;
+
+    fn rec(i: u64) -> WalRecord {
+        WalRecord::Update {
+            path: IdPath::from_pairs([("usRegion", "NE")]),
+            fields: vec![("available".into(), format!("v{i}"))],
+            ts: i as f64,
+        }
+    }
+
+    fn open_mem(cfg: DurabilityConfig) -> (SiteStore, RecoveredState) {
+        SiteStore::open(Box::new(MemoryBackend::new()), cfg).unwrap()
+    }
+
+    #[test]
+    fn fresh_store_recovers_nothing() {
+        let (_, recovered) = open_mem(DurabilityConfig::default());
+        assert!(recovered.is_empty());
+        assert_eq!(recovered.torn_bytes, 0);
+    }
+
+    /// Round-trips through a *shared* backend: a second open sees exactly
+    /// what the first wrote, snapshot base + WAL tail.
+    #[test]
+    fn snapshot_plus_tail_recovery() {
+        let backend = std::sync::Arc::new(MemoryBackend::new());
+        let (mut store, _) =
+            SiteStore::open(Box::new(backend.clone()), DurabilityConfig::default()).unwrap();
+        store.append(&rec(1), 1.0).unwrap();
+        store.write_snapshot("<usRegion id=\"NE\"/>", 2.0).unwrap();
+        store.append(&rec(3), 3.0).unwrap();
+        store.append(&rec(4), 4.0).unwrap();
+
+        let (_, recovered) =
+            SiteStore::open(Box::new(backend), DurabilityConfig::default()).unwrap();
+        assert_eq!(recovered.snapshot_xml.as_deref(), Some("<usRegion id=\"NE\"/>"));
+        assert_eq!(recovered.records, vec![rec(3), rec(4)]);
+        assert_eq!(recovered.torn_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_expires_superseded_segments_o1() {
+        let (mut store, _) = open_mem(DurabilityConfig::default());
+        store.append(&rec(1), 1.0).unwrap();
+        store.write_snapshot("<a/>", 2.0).unwrap();
+        store.append(&rec(3), 3.0).unwrap();
+        store.write_snapshot("<b/>", 4.0).unwrap();
+        // Only the newest snapshot survives with retain_segments = 0; the
+        // next append opens a fresh WAL.
+        assert_eq!(store.segment_count(), 1);
+        store.append(&rec(5), 5.0).unwrap();
+        assert_eq!(store.segment_count(), 2);
+    }
+
+    #[test]
+    fn retention_keeps_history_windows() {
+        let (mut store, _) =
+            open_mem(DurabilityConfig { snapshot_every: 0, retain_segments: 2 });
+        for i in 0..4u64 {
+            store.append(&rec(i), i as f64).unwrap();
+            store.write_snapshot(&format!("<s{i}/>"), i as f64).unwrap();
+        }
+        // Live snapshot + 2 retained superseded windows.
+        let superseded = store
+            .sealed_segments()
+            .iter()
+            .filter(|s| s.seq < store.snapshot_seq.unwrap())
+            .count();
+        assert_eq!(superseded, 2);
+    }
+}

@@ -1,0 +1,471 @@
+//! On-disk record and segment-header codec for the write-ahead log.
+//!
+//! The layout follows the `simnet::wire` discipline — length-framed,
+//! versioned, little-endian — with one addition the network codec does not
+//! need: a CRC-32 over the payload, because a disk can hand back a *torn*
+//! or bit-rotted record where a stream socket only truncates.
+//!
+//! ```text
+//! record   := [version u8][payload_len u32 LE][crc32 u32 LE][payload]
+//! payload  := [tag u8][fields...]
+//! segment  := [magic "IRSG"][version u8][kind u8][seq u64 LE][t_lo f64-bits LE] records*
+//! ```
+//!
+//! The CRC covers exactly the payload bytes (tag included). Any byte-level
+//! change to this layout is a [`STORE_VERSION`] bump, not a silent
+//! re-encode — pinned by the golden-bytes test in `tests/storage_prop.rs`
+//! exactly as `tests/wire_prop.rs` pins network frames.
+
+use crate::fragment::Status;
+use crate::idable::IdPath;
+
+/// Version byte every record and segment header starts with (after the
+/// magic, for segments).
+pub const STORE_VERSION: u8 = 1;
+
+/// Bytes before a record's payload: version + length + crc.
+pub const RECORD_HEADER_LEN: usize = 1 + 4 + 4;
+
+/// Segment file magic.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"IRSG";
+
+/// Bytes in a segment header: magic + version + kind + seq + t_lo.
+pub const SEGMENT_HEADER_LEN: usize = 4 + 1 + 1 + 8 + 8;
+
+/// Segment kind byte: an append-only run of mutation records.
+pub const SEGMENT_KIND_WAL: u8 = 1;
+/// Segment kind byte: a sealed snapshot (one `Snapshot` record).
+pub const SEGMENT_KIND_SNAPSHOT: u8 = 2;
+
+/// One durable fragment mutation (or a full-state snapshot). The variants
+/// mirror the [`crate::fragment::SiteDatabase`] mutation surface, so a
+/// replayed record re-runs exactly the code path that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A sensor update applied at `path` ([`SiteDatabase::apply_update`]).
+    Update { path: IdPath, fields: Vec<(String, String)>, ts: f64 },
+    /// A fragment merge ([`SiteDatabase::merge_fragment`]) — cache fills,
+    /// sub-answer merges and the receiving half of an ownership migration.
+    /// The XML carries internal status/timestamp attributes verbatim.
+    Merge { fragment_xml: String },
+    /// An eviction/demotion to an incomplete stub ([`SiteDatabase::evict`]).
+    Evict { path: IdPath },
+    /// A status change ([`SiteDatabase::set_status`] /
+    /// [`set_status_subtree`]) — both halves of an ownership migration.
+    SetStatus { path: IdPath, status: Status, subtree: bool },
+    /// A full serialized database state (the single record of a snapshot
+    /// segment). Empty XML encodes the empty database.
+    Snapshot { xml: String },
+}
+
+/// Why a record (or header) failed to decode. Recovery treats every
+/// variant the same way — stop replaying at the previous record — but the
+/// distinction matters for tests and diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Fewer bytes than a header, or than the header's claimed length.
+    Truncated,
+    /// Unknown record/segment version.
+    Version(u8),
+    /// CRC mismatch: the payload bytes are not what was written.
+    Checksum,
+    /// Unknown payload tag (within a valid checksum — format drift).
+    UnknownTag(u8),
+    /// A length-prefixed field overran the payload or held invalid UTF-8.
+    Malformed,
+    /// Segment header magic/kind mismatch.
+    BadSegment,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "truncated record"),
+            RecordError::Version(v) => write!(f, "unknown store version {v}"),
+            RecordError::Checksum => write!(f, "record checksum mismatch"),
+            RecordError::UnknownTag(t) => write!(f, "unknown record tag {t}"),
+            RecordError::Malformed => write!(f, "malformed record payload"),
+            RecordError::BadSegment => write!(f, "bad segment header"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected). Table built at compile time; no deps.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Field encoding helpers (LE, length-prefixed — the wire.rs idiom).
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_path(buf: &mut Vec<u8>, p: &IdPath) {
+    let segs = p.segments();
+    put_u32(buf, segs.len() as u32);
+    for (tag, id) in segs {
+        put_str(buf, tag);
+        put_str(buf, id);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecordError> {
+        if self.buf.len() - self.pos < n {
+            return Err(RecordError::Malformed);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RecordError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, RecordError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, RecordError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, RecordError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, RecordError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| RecordError::Malformed)
+    }
+
+    fn path(&mut self) -> Result<IdPath, RecordError> {
+        let n = self.u32()? as usize;
+        // Cap pre-allocation: a corrupt count must not OOM the decoder.
+        let mut segs = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let tag = self.string()?;
+            let id = self.string()?;
+            segs.push((tag, id));
+        }
+        Ok(IdPath::from_pairs(segs))
+    }
+
+    fn done(&self) -> Result<(), RecordError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(RecordError::Malformed)
+        }
+    }
+}
+
+fn status_byte(s: Status) -> u8 {
+    match s {
+        Status::Incomplete => 0,
+        Status::IdComplete => 1,
+        Status::Complete => 2,
+        Status::Owned => 3,
+    }
+}
+
+fn byte_status(b: u8) -> Result<Status, RecordError> {
+    Ok(match b {
+        0 => Status::Incomplete,
+        1 => Status::IdComplete,
+        2 => Status::Complete,
+        3 => Status::Owned,
+        _ => return Err(RecordError::Malformed),
+    })
+}
+
+const TAG_UPDATE: u8 = 1;
+const TAG_MERGE: u8 = 2;
+const TAG_EVICT: u8 = 3;
+const TAG_SET_STATUS: u8 = 4;
+const TAG_SNAPSHOT: u8 = 5;
+
+fn encode_payload(rec: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match rec {
+        WalRecord::Update { path, fields, ts } => {
+            buf.push(TAG_UPDATE);
+            put_path(&mut buf, path);
+            put_u32(&mut buf, fields.len() as u32);
+            for (k, v) in fields {
+                put_str(&mut buf, k);
+                put_str(&mut buf, v);
+            }
+            put_f64(&mut buf, *ts);
+        }
+        WalRecord::Merge { fragment_xml } => {
+            buf.push(TAG_MERGE);
+            put_str(&mut buf, fragment_xml);
+        }
+        WalRecord::Evict { path } => {
+            buf.push(TAG_EVICT);
+            put_path(&mut buf, path);
+        }
+        WalRecord::SetStatus { path, status, subtree } => {
+            buf.push(TAG_SET_STATUS);
+            put_path(&mut buf, path);
+            buf.push(status_byte(*status));
+            buf.push(u8::from(*subtree));
+        }
+        WalRecord::Snapshot { xml } => {
+            buf.push(TAG_SNAPSHOT);
+            put_str(&mut buf, xml);
+        }
+    }
+    buf
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord, RecordError> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    let rec = match tag {
+        TAG_UPDATE => {
+            let path = r.path()?;
+            let n = r.u32()? as usize;
+            let mut fields = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let k = r.string()?;
+                let v = r.string()?;
+                fields.push((k, v));
+            }
+            let ts = r.f64()?;
+            WalRecord::Update { path, fields, ts }
+        }
+        TAG_MERGE => WalRecord::Merge { fragment_xml: r.string()? },
+        TAG_EVICT => WalRecord::Evict { path: r.path()? },
+        TAG_SET_STATUS => {
+            let path = r.path()?;
+            let status = byte_status(r.u8()?)?;
+            let subtree = r.u8()? != 0;
+            WalRecord::SetStatus { path, status, subtree }
+        }
+        TAG_SNAPSHOT => WalRecord::Snapshot { xml: r.string()? },
+        t => return Err(RecordError::UnknownTag(t)),
+    };
+    r.done()?;
+    Ok(rec)
+}
+
+/// Encodes a record into its framed, checksummed on-disk form.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(rec);
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.push(STORE_VERSION);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes the record at the front of `buf`, returning it and the rest of
+/// the buffer. Every failure mode a torn or rotted tail can produce maps
+/// to an error — never a panic, never a half-decoded record.
+pub fn split_record(buf: &[u8]) -> Result<(WalRecord, &[u8]), RecordError> {
+    if buf.len() < RECORD_HEADER_LEN {
+        return Err(RecordError::Truncated);
+    }
+    if buf[0] != STORE_VERSION {
+        return Err(RecordError::Version(buf[0]));
+    }
+    let len = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[5..9].try_into().unwrap());
+    let rest = &buf[RECORD_HEADER_LEN..];
+    if rest.len() < len {
+        return Err(RecordError::Truncated);
+    }
+    let (payload, rest) = rest.split_at(len);
+    if crc32(payload) != crc {
+        return Err(RecordError::Checksum);
+    }
+    let rec = decode_payload(payload)?;
+    Ok((rec, rest))
+}
+
+/// A parsed segment header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentHeader {
+    /// [`SEGMENT_KIND_WAL`] or [`SEGMENT_KIND_SNAPSHOT`].
+    pub kind: u8,
+    /// Monotonic segment sequence number (total order across kinds).
+    pub seq: u64,
+    /// Start of the segment's time window (seconds, substrate clock).
+    pub t_lo: f64,
+}
+
+/// Encodes a segment header.
+pub fn encode_segment_header(h: &SegmentHeader) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEGMENT_HEADER_LEN);
+    out.extend_from_slice(&SEGMENT_MAGIC);
+    out.push(STORE_VERSION);
+    out.push(h.kind);
+    put_u64(&mut out, h.seq);
+    put_u64(&mut out, h.t_lo.to_bits());
+    out
+}
+
+/// Decodes a segment header from the front of `buf`, returning it and the
+/// record bytes that follow.
+pub fn split_segment_header(buf: &[u8]) -> Result<(SegmentHeader, &[u8]), RecordError> {
+    if buf.len() < SEGMENT_HEADER_LEN {
+        return Err(RecordError::Truncated);
+    }
+    if buf[..4] != SEGMENT_MAGIC {
+        return Err(RecordError::BadSegment);
+    }
+    if buf[4] != STORE_VERSION {
+        return Err(RecordError::Version(buf[4]));
+    }
+    let kind = buf[5];
+    if kind != SEGMENT_KIND_WAL && kind != SEGMENT_KIND_SNAPSHOT {
+        return Err(RecordError::BadSegment);
+    }
+    let seq = u64::from_le_bytes(buf[6..14].try_into().unwrap());
+    let t_lo = f64::from_bits(u64::from_le_bytes(buf[14..22].try_into().unwrap()));
+    Ok((SegmentHeader { kind, seq, t_lo }, &buf[SEGMENT_HEADER_LEN..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        let p = IdPath::from_pairs([("usRegion", "NE"), ("state", "PA")]);
+        vec![
+            WalRecord::Update {
+                path: p.clone(),
+                fields: vec![("available".into(), "yes".into())],
+                ts: 12.5,
+            },
+            WalRecord::Merge { fragment_xml: "<usRegion id=\"NE\"/>".into() },
+            WalRecord::Evict { path: p.clone() },
+            WalRecord::SetStatus { path: p, status: Status::Owned, subtree: true },
+            WalRecord::Snapshot { xml: String::new() },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for rec in samples() {
+            let bytes = encode_record(&rec);
+            let (back, rest) = split_record(&bytes).expect("decodes");
+            assert_eq!(back, rec);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn corrupt_byte_is_detected() {
+        let bytes = encode_record(&samples()[0]);
+        for i in RECORD_HEADER_LEN..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x5A;
+            assert!(
+                matches!(split_record(&b), Err(RecordError::Checksum | RecordError::Truncated)),
+                "payload corruption at {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let bytes = encode_record(&samples()[1]);
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                split_record(&bytes[..cut]).err(),
+                Some(RecordError::Truncated),
+                "prefix of length {cut} misparsed"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode_record(&samples()[2]);
+        bytes[0] = 9;
+        assert_eq!(split_record(&bytes).err(), Some(RecordError::Version(9)));
+    }
+
+    #[test]
+    fn segment_header_roundtrip() {
+        let h = SegmentHeader { kind: SEGMENT_KIND_SNAPSHOT, seq: 42, t_lo: 100.25 };
+        let mut bytes = encode_segment_header(&h);
+        bytes.extend_from_slice(b"tail");
+        let (back, rest) = split_segment_header(&bytes).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(rest, b"tail");
+        assert_eq!(
+            split_segment_header(b"IRSX").err(),
+            Some(RecordError::Truncated)
+        );
+        let mut bad = encode_segment_header(&h);
+        bad[0] = b'X';
+        assert_eq!(split_segment_header(&bad).err(), Some(RecordError::BadSegment));
+    }
+}

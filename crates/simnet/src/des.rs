@@ -284,6 +284,26 @@ impl DesCluster {
         assert!(prev.is_none(), "duplicate site address {addr:?}");
     }
 
+    /// Removes a site mid-simulation (a crash with amnesia: in-memory
+    /// state is gone unless the agent carried a durability plane) and
+    /// returns its agent. Events already queued for the address are
+    /// dropped harmlessly on delivery. Pair with
+    /// [`DesCluster::restart_site`] between `run_until` calls.
+    pub fn remove_site(&mut self, addr: SiteAddr) -> Option<OrganizingAgent> {
+        self.tick_scheduled.remove(&addr);
+        self.sites.remove(&addr).map(|s| s.oa)
+    }
+
+    /// (Re)installs a site after [`DesCluster::remove_site`] — the restart
+    /// half of a crash/restart cycle. The replacement agent usually
+    /// recovered its database via `attach_durability`; a fresh agent
+    /// models restart-with-amnesia. Its timers are scheduled from now.
+    pub fn restart_site(&mut self, oa: OrganizingAgent) {
+        let addr = oa.addr;
+        self.add_site(oa);
+        self.schedule_site_tick(addr);
+    }
+
     /// Access a site's agent (e.g. to inspect stats after a run).
     pub fn site(&self, addr: SiteAddr) -> Option<&OrganizingAgent> {
         self.sites.get(&addr).map(|s| &s.oa)

@@ -268,6 +268,26 @@ impl LiveCluster {
         Some(h.join.join().expect("site thread panicked"))
     }
 
+    /// Restarts a site after [`LiveCluster::stop_site`]: spawns a fresh
+    /// thread around `oa` and re-registers its address, so routed traffic
+    /// flows again. The agent is usually a replacement that recovered its
+    /// database via `attach_durability` (crash → restart replays snapshot
+    /// + WAL tail); passing a fresh agent models restart-with-amnesia.
+    pub fn restart_site(&mut self, oa: OrganizingAgent) {
+        self.restart_site_with_workers(oa, 0);
+    }
+
+    /// [`LiveCluster::restart_site`] with a read-worker pool (the restart
+    /// counterpart of [`LiveCluster::add_site_with_workers`]).
+    pub fn restart_site_with_workers(&mut self, oa: OrganizingAgent, workers: usize) {
+        assert!(
+            !self.sites.contains_key(&oa.addr),
+            "restart_site: site {:?} is still running (stop it first)",
+            oa.addr
+        );
+        self.add_site_with_workers(oa, workers);
+    }
+
     /// Stops all site threads and returns the agents (with their stats).
     /// Senders are unregistered up front: clients that race the shutdown
     /// get immediate `SiteDown` failures, and every query already queued

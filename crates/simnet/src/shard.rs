@@ -90,6 +90,13 @@ enum ShardEnvelope {
     Frame { to: SiteAddr, bytes: Vec<u8>, sent: Instant },
     /// A shard worker finished a read task for `site`.
     Done { site: SiteAddr, done: ReadDone },
+    /// Install a site on this shard mid-run (the restart half of a
+    /// crash/restart cycle). Enqueued *before* the site is routable, so it
+    /// is always processed before any message addressed to the site.
+    Attach(Box<OrganizingAgent>),
+    /// Remove a site from this shard mid-run and hand its agent back.
+    /// The site was unrouted first, so no further messages can arrive.
+    Detach { site: SiteAddr, reply: Sender<Box<OrganizingAgent>> },
     Stop,
 }
 
@@ -418,6 +425,51 @@ impl ShardedCluster {
         self.replies.lock().insert(endpoint, tx);
         self.send(site, Message::Subscribe { qid, text: text.to_string(), endpoint });
         (qid, rx)
+    }
+
+    /// Stops one *site* mid-run and returns its agent — the crash half of
+    /// a crash/restart cycle (cf. [`crate::LiveCluster::stop_site`]). The
+    /// site is unrouted first, so queries routed to it from then on fail
+    /// fast with `SiteDown`; its shard keeps serving its other sites. The
+    /// agent comes back with pending queries failed out loud.
+    pub fn stop_site(&mut self, addr: SiteAddr) -> Option<OrganizingAgent> {
+        let router = self.router.as_ref()?;
+        // Unroute before detaching: once the mapping is gone no new
+        // message can be enqueued for the site, so the Detach is the last
+        // envelope that references it.
+        let shard = router.shard_of.lock().remove(&addr)?;
+        let (rtx, rrx) = unbounded();
+        if router.shard_txs[shard]
+            .send(ShardEnvelope::Detach { site: addr, reply: rtx })
+            .is_err()
+        {
+            return None;
+        }
+        rrx.recv().ok().map(|b| *b)
+    }
+
+    /// Restarts a site after [`ShardedCluster::stop_site`]: hands `oa` to
+    /// its shard (assignment is stable: `addr.0 % shards`) and re-routes
+    /// the address. The agent is usually a replacement that recovered its
+    /// database via `attach_durability` (crash → restart replays the
+    /// snapshot plus WAL tail); a fresh agent models restart-with-amnesia.
+    /// The owning shard must still be running.
+    pub fn restart_site(&mut self, mut oa: OrganizingAgent) {
+        let router = self.router.as_ref().expect("restart_site before start");
+        if let Some(rec) = &self.recorder {
+            oa.set_recorder(rec.clone());
+        }
+        let addr = oa.addr;
+        let shard = (addr.0 as usize) % self.shards;
+        // Route-map lock held across the send: any deliver that finds the
+        // mapping observes a channel state where the Attach is already
+        // enqueued, so the agent is installed before its first message.
+        let mut map = router.shard_of.lock();
+        assert!(
+            router.shard_txs[shard].send(ShardEnvelope::Attach(Box::new(oa))).is_ok(),
+            "restart_site: owning shard is stopped"
+        );
+        map.insert(addr, shard);
     }
 
     /// Stops one shard mid-run and returns its agents. Its sites are
@@ -770,6 +822,27 @@ fn shard_loop(
                     observe(&metrics.read_queue_depth, d as f64);
                 }
                 rearm(&mut timers, &agents[&site]);
+            }
+            ShardEnvelope::Attach(boxed) => {
+                let oa = *boxed;
+                let addr = oa.addr;
+                contexts.lock().insert(addr, oa.read_context());
+                rearm(&mut timers, &oa);
+                agents.insert(addr, oa);
+            }
+            ShardEnvelope::Detach { site, reply } => {
+                contexts.lock().remove(&site);
+                if let Some(mut oa) = agents.remove(&site) {
+                    // Queries still gathering can never finish once the
+                    // site is gone: fail them out loud, like shutdown does.
+                    let outs = oa.fail_pending();
+                    route(site, outs);
+                    oa.publish_metrics();
+                    let _ = reply.send(Box::new(oa));
+                }
+                // Stale timer-heap entries are lazily invalidated by
+                // validated_top; late worker Done envelopes for the site
+                // fall through the agents lookup harmlessly.
             }
             ShardEnvelope::Stop => {
                 // The PR 3 shutdown discipline, per shard: stop workers

@@ -7,13 +7,14 @@
 //! function of the seed, so any failure replays exactly: the assertion
 //! message carries the seed and the full plan.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use irisdns::SiteAddr;
 use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
 use irisnet_core::{
-    CacheMode, Endpoint, Message, OaConfig, OrganizingAgent, RetryPolicy, Status,
+    CacheMode, DurabilityConfig, Endpoint, MemoryBackend, Message, OaConfig,
+    OrganizingAgent, RetryPolicy, SiteStore, Status,
 };
 use proptest::prelude::*;
 use simnet::{CostModel, DesCluster, FaultPlan, ShardConfig, ShardedCluster};
@@ -259,4 +260,123 @@ proptest! {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Crash-then-restart equivalence (PR 8): recovery from the durable log
+// is invisible to post-restart answers, and the restart-empty ablation
+// proves the log is what does the healing.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum Restart {
+    /// No crash at all — the fault-free baseline.
+    None,
+    /// Crash with amnesia, restart recovered from snapshot + WAL tail.
+    FromLog,
+    /// Crash with amnesia, restart from an empty database.
+    Empty,
+}
+
+/// One DES run of the standard 12-query mix with a mid-stream update on
+/// site 2 (so the WAL tail is load-bearing) and, for the crash modes, a
+/// site-2 outage across queries 4–6 under a masked fault plan. Returns
+/// `(endpoint, canonical answer, ok, partial)` sorted by endpoint.
+fn recovery_run(db: &ParkingDb, mode: Restart) -> Vec<(u64, String, bool, bool)> {
+    let svc = db.service.clone();
+    let carved = db.neighborhood_path(0, 1);
+    let mut sim = DesCluster::new(CostModel::default());
+    let (oa1, mut oa2) = make_agents(db);
+    let backend = Arc::new(MemoryBackend::new());
+    if mode != Restart::None {
+        let (store, recovered) =
+            SiteStore::open(Box::new(backend.clone()), DurabilityConfig::default())
+                .unwrap();
+        oa2.attach_durability(store, recovered, 0.0).unwrap();
+        sim.set_fault_plan(FaultPlan::masked_from_seed(7));
+    }
+    sim.dns.register(&svc.dns_name(&db.root_path()), SiteAddr(1));
+    sim.dns.register(&svc.dns_name(&carved), SiteAddr(2));
+    sim.add_site(oa1);
+    sim.add_site(oa2);
+
+    // The update only ever exists on site 2 (and, in the crash modes, in
+    // its WAL tail): post-restart answers can carry it only via replay.
+    sim.schedule_message(
+        25.0,
+        SiteAddr(2),
+        Message::Update {
+            path: carved.child("block", "1").child("parkingSpace", "1"),
+            fields: vec![("available".to_string(), "77".to_string())],
+        },
+    );
+    let queries = query_mix(db);
+    for (i, q) in queries.iter().enumerate() {
+        sim.schedule_message(
+            i as f64 * 50.0,
+            SiteAddr(1),
+            Message::UserQuery {
+                qid: i as u64 + 1,
+                text: q.clone(),
+                endpoint: Endpoint(10_000 + i as u64),
+            },
+        );
+    }
+
+    if mode == Restart::None {
+        sim.run_until(queries.len() as f64 * 50.0 + 300.0);
+    } else {
+        sim.run_until(175.0); // queries 0–3 answered
+        drop(sim.remove_site(SiteAddr(2)).expect("site 2 present"));
+        sim.run_until(325.0); // queries 4–6 hit the outage
+        let mut oa2b = OrganizingAgent::new(SiteAddr(2), svc.clone(), config());
+        if mode == Restart::FromLog {
+            let (store, recovered) =
+                SiteStore::open(Box::new(backend), DurabilityConfig::default())
+                    .unwrap();
+            let stats = oa2b.attach_durability(store, recovered, 325.0).unwrap();
+            assert!(stats.snapshot_loaded, "no snapshot recovered");
+            assert!(stats.records_replayed >= 1, "WAL tail not replayed");
+        }
+        sim.restart_site(oa2b);
+        sim.run_until(queries.len() as f64 * 50.0 + 300.0);
+    }
+
+    let mut replies = sim.take_unclaimed_detailed();
+    replies.sort_by_key(|r| r.endpoint.0);
+    assert_eq!(replies.len(), queries.len(), "a query hung instead of completing");
+    replies
+        .into_iter()
+        .map(|r| (r.endpoint.0, canon(&r.answer_xml), r.ok, r.partial))
+        .collect()
+}
+
+/// Queries posed after the restart (7–11) must be byte-identical to the
+/// fault-free, crash-free baseline when the replacement recovers from the
+/// log — masked faults, a crash and a replay all invisible — and must
+/// diverge when it restarts empty.
+#[test]
+fn crash_then_restart_from_log_is_invisible_after_recovery() {
+    let db = ParkingDb::generate(params(), 42);
+    let baseline = recovery_run(&db, Restart::None);
+    for (ep, _, ok, partial) in &baseline {
+        assert!(*ok && !partial, "baseline not exact at endpoint {ep}");
+    }
+    let tail = |v: &[(u64, String, bool, bool)]| {
+        v.iter().filter(|r| r.0 >= 10_007).cloned().collect::<Vec<_>>()
+    };
+
+    let healed = recovery_run(&db, Restart::FromLog);
+    assert_eq!(
+        tail(&healed),
+        tail(&baseline),
+        "post-restart answers diverged from the crash-free baseline"
+    );
+
+    let amnesiac = recovery_run(&db, Restart::Empty);
+    assert_ne!(
+        tail(&amnesiac),
+        tail(&baseline),
+        "restart-empty matched the baseline — the ablation is vacuous"
+    );
 }

@@ -7,10 +7,13 @@
 //! site-1-owned data must stay byte-identical to their pre-crash answers.
 //! All timing is virtual (DES), derived from the plan: nothing sleeps.
 
+use std::sync::Arc;
+
 use irisdns::SiteAddr;
 use irisnet_bench::{DbParams, ParkingDb};
 use irisnet_core::{
-    CacheMode, Endpoint, IdPath, Message, OaConfig, OrganizingAgent, RetryPolicy, Status,
+    CacheMode, DurabilityConfig, Endpoint, IdPath, MemoryBackend, Message, OaConfig,
+    OrganizingAgent, RetryPolicy, SiteStore, Status,
 };
 use simnet::{CostModel, DesCluster, FaultPlan, UnclaimedReply};
 
@@ -157,4 +160,90 @@ fn permanent_crash_degrades_to_partial_answers() {
     assert!(s1.stats.retries_sent >= 2);
     assert!(s1.stats.partial_answers >= 2);
     assert!(sim.fault_counts().crash_drops > 0);
+}
+
+/// A *temporary* crash (PR 8): the same degradation as above while the
+/// owner is down — `partial="true"` stubs on exactly the unreachable
+/// covering path — but once a replacement recovers from the durable
+/// snapshot + WAL tail, spanning queries heal back to byte-identical
+/// exact answers, stubs gone, including an update that only ever lived
+/// in the WAL tail.
+#[test]
+fn temporary_crash_heals_after_restart_from_log() {
+    let db = ParkingDb::generate(params(), 42);
+    let carved = db.neighborhood_path(0, 1); // n2, owned by site 2
+    let svc = db.service.clone();
+
+    let mut sim = DesCluster::new(CostModel::default());
+    let oa1 = OrganizingAgent::new(SiteAddr(1), svc.clone(), config());
+    oa1.db_mut().bootstrap_owned(&db.master, &db.root_path(), true).unwrap();
+    oa1.db_mut().set_status_subtree(&carved, Status::Complete).unwrap();
+    oa1.db_mut().evict(&carved).unwrap();
+    let mut oa2 = OrganizingAgent::new(SiteAddr(2), svc.clone(), config());
+    oa2.db_mut().bootstrap_owned(&db.master, &carved, true).unwrap();
+    let backend = Arc::new(MemoryBackend::new());
+    let (store, recovered) =
+        SiteStore::open(Box::new(backend.clone()), DurabilityConfig::default()).unwrap();
+    oa2.attach_durability(store, recovered, 0.0).unwrap();
+    sim.dns.register(&svc.dns_name(&db.root_path()), SiteAddr(1));
+    sim.dns.register(&svc.dns_name(&carved), SiteAddr(2));
+    sim.add_site(oa1);
+    sim.add_site(oa2);
+
+    // An update into the WAL tail (the attach snapshot predates it), then
+    // one exact answer before the crash.
+    sim.schedule_message(
+        5.0,
+        SiteAddr(2),
+        Message::Update {
+            path: carved.child("block", "1").child("parkingSpace", "1"),
+            fields: vec![("available".to_string(), "77".to_string())],
+        },
+    );
+    let pose = |sim: &mut DesCluster, at: f64, ep: u64| {
+        sim.schedule_message(
+            at,
+            SiteAddr(1),
+            Message::UserQuery { qid: ep, text: Q_BOTH.to_string(), endpoint: Endpoint(ep) },
+        );
+    };
+    pose(&mut sim, 10.0, 1);
+    sim.run_until(50.0);
+
+    // Crash with amnesia: agent dropped, only the backend survives.
+    drop(sim.remove_site(SiteAddr(2)).expect("site 2 present"));
+    pose(&mut sim, 60.0, 2);
+    sim.run_until(150.0);
+
+    // Restart from the log; heal.
+    let mut oa2b = OrganizingAgent::new(SiteAddr(2), svc, config());
+    let (store, recovered) =
+        SiteStore::open(Box::new(backend), DurabilityConfig::default()).unwrap();
+    let stats = oa2b.attach_durability(store, recovered, 150.0).unwrap();
+    assert!(stats.snapshot_loaded && stats.records_replayed >= 1);
+    sim.restart_site(oa2b);
+    pose(&mut sim, 200.0, 3);
+    sim.run_until(400.0);
+
+    let mut replies = sim.take_unclaimed_detailed();
+    replies.sort_by_key(|r| r.endpoint.0);
+    assert_eq!(replies.len(), 3, "a query hung instead of completing");
+
+    let pre = &replies[0];
+    assert!(pre.ok && !pre.partial, "pre-crash query not exact");
+    assert!(partial_paths(&pre.answer_xml).is_empty());
+    assert!(pre.answer_xml.contains("77"), "update not visible pre-crash");
+
+    let during = &replies[1];
+    assert!(during.ok && during.partial, "outage query should degrade, not fail");
+    assert_eq!(
+        partial_paths(&during.answer_xml),
+        vec![id_pairs(&carved)],
+        "outage stubs are not the unreachable covering node"
+    );
+
+    let post = &replies[2];
+    assert!(post.ok && !post.partial, "post-restart query did not heal");
+    assert!(partial_paths(&post.answer_xml).is_empty(), "stale partial stubs survived");
+    assert_eq!(canon(&post.answer_xml), canon(&pre.answer_xml));
 }
