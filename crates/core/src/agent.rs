@@ -31,6 +31,7 @@ use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use irisdns::{AuthoritativeDns, CachingResolver, SiteAddr};
+use irisobs::telemetry::{disabled_payload, TelemetryPlane};
 use irisobs::{CacheOutcome, Link, Recorder, SpanKind};
 use parking_lot::RwLock;
 use sensorxpath::Expr;
@@ -90,6 +91,18 @@ pub enum Message {
     Subscribe { qid: QueryId, text: String, endpoint: Endpoint },
     /// Cancel a continuous query.
     Unsubscribe { qid: QueryId },
+    /// Telemetry scrape: ask this site for its continuous-telemetry
+    /// payload (windowed series, flight-recorder dump, health — `what`
+    /// selects sections, see `irisobs::telemetry::WHAT_*`). Two reply
+    /// modes: `reply_to == SiteAddr(0)` (no real site is 0) answers the
+    /// client `endpoint` directly like a query answer; a non-zero
+    /// `reply_to` sends a [`Message::TelemetryReply`] to that site, so a
+    /// controller site can poll its peers over the same wire.
+    TelemetryRequest { qid: QueryId, reply_to: SiteAddr, endpoint: Endpoint, what: u8 },
+    /// A peer site's scrape answer: the JSONL telemetry payload. Parked in
+    /// the receiving agent's telemetry inbox
+    /// ([`OrganizingAgent::take_telemetry_replies`]).
+    TelemetryReply { qid: QueryId, payload: String },
 }
 
 /// Traffic generated by handling one message.
@@ -557,7 +570,15 @@ pub struct OrganizingAgent {
     /// whose finalize read task is in flight — the pending entry is
     /// already gone by the time the task completes.
     finishing: HashMap<QueryId, (u64, u64)>,
+    /// Telemetry payloads received from peer sites (site-to-site scrape
+    /// mode), bounded; drained by
+    /// [`OrganizingAgent::take_telemetry_replies`].
+    telemetry_inbox: Vec<(QueryId, String)>,
 }
+
+/// Bound on buffered peer telemetry replies: a controller that never
+/// drains its inbox sheds the oldest payloads instead of growing.
+const TELEMETRY_INBOX_CAP: usize = 64;
 
 impl OrganizingAgent {
     /// Creates an agent with an empty database.
@@ -584,6 +605,7 @@ impl OrganizingAgent {
             obs_queue_wait: 0.0,
             obs_cur_root: 0,
             finishing: HashMap::new(),
+            telemetry_inbox: Vec::new(),
         }
     }
 
@@ -740,8 +762,57 @@ impl OrganizingAgent {
             let mut db = self.db.write();
             self.cache_mgr.enforce(&mut db, now);
         }
-        // The durability plane snapshots at the same quiescent points.
+        // The durability plane snapshots at the same quiescent points —
+        // and so does telemetry window sampling: both stay entirely off
+        // the query path.
         self.maybe_snapshot(now);
+        if self.obs.on {
+            self.maybe_sample_telemetry(now);
+        }
+    }
+
+    /// Advances this site's telemetry windows if a full bucket width has
+    /// passed since the last sample. Rate-limited so the steady-state cost
+    /// at quiescent points is one map lookup; sampling itself only mutates
+    /// plane-internal state (no messages, no spans), so answers and trace
+    /// digests are byte-identical with telemetry on or off.
+    fn maybe_sample_telemetry(&self, now: f64) {
+        let Some(tel) = self.obs.recorder().telemetry() else { return };
+        if !tel.sample_due(self.addr.0, now) {
+            return;
+        }
+        self.sample_telemetry_into(tel, now);
+    }
+
+    fn sample_telemetry_into(&self, tel: &TelemetryPlane, now: f64) {
+        self.publish_metrics();
+        tel.record_heat(
+            self.addr.0,
+            now,
+            &self.cache_mgr.heat_snapshot(now, tel.config().heat_top),
+        );
+        if let Some(reg) = self.obs.registry() {
+            tel.sample_site(self.addr.0, now, reg);
+        }
+    }
+
+    /// Renders this site's scrape payload: a fresh sample (scrapes always
+    /// see current windows, not the last quiescent point's) followed by
+    /// the sections `what` selects. Without a telemetry-carrying recorder
+    /// the payload is a minimal `enabled:false` header — a scraper can
+    /// always tell "plane off" from "site down".
+    pub fn telemetry_payload(&self, what: u8, now: f64) -> String {
+        let Some(tel) = self.obs.recorder().telemetry() else {
+            return disabled_payload(self.addr.0, now);
+        };
+        self.sample_telemetry_into(tel, now);
+        tel.payload(self.addr.0, what, now)
+    }
+
+    /// Drains telemetry payloads received from peer sites (the
+    /// site-to-site reply mode of [`Message::TelemetryRequest`]).
+    pub fn take_telemetry_replies(&mut self) -> Vec<(QueryId, String)> {
+        std::mem::take(&mut self.telemetry_inbox)
     }
 
     /// Forces a cache sweep immediately (maintenance/test hook; the agent
@@ -1003,6 +1074,32 @@ impl OrganizingAgent {
             }
             Message::Unsubscribe { qid } => {
                 self.continuous.cancel(qid);
+            }
+            // Telemetry handling records no spans on purpose: scraping a
+            // cluster must not perturb its trace structure, so the DES
+            // equivalence oracle holds with telemetry on or off.
+            Message::TelemetryRequest { qid, reply_to, endpoint, what } => {
+                let payload = self.telemetry_payload(what, now);
+                if reply_to.0 != 0 {
+                    oc.out.push(Outbound::Send {
+                        to: reply_to,
+                        msg: Message::TelemetryReply { qid, payload },
+                    });
+                } else {
+                    oc.out.push(Outbound::ReplyUser {
+                        endpoint,
+                        qid,
+                        answer_xml: payload,
+                        ok: true,
+                        partial: false,
+                    });
+                }
+            }
+            Message::TelemetryReply { qid, payload } => {
+                if self.telemetry_inbox.len() >= TELEMETRY_INBOX_CAP {
+                    self.telemetry_inbox.remove(0);
+                }
+                self.telemetry_inbox.push((qid, payload));
             }
         }
     }

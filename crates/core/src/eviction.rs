@@ -42,7 +42,9 @@ use crate::idable::IdPath;
 /// Half-life (seconds) of the per-unit heat counter: a unit untouched for
 /// one half-life counts half as hot. Chosen so heat is meaningful both at
 /// test timescales (seconds) and bench runs (minutes of virtual time).
-const HEAT_HALF_LIFE: f64 = 120.0;
+/// Public so the telemetry plane's per-fragment heat series decay on the
+/// same clock as the eviction scores they mirror.
+pub const HEAT_HALF_LIFE: f64 = 120.0;
 
 /// Cold-end sample size for the heat-weighted policy: the victim is the
 /// worst-scoring of up to this many least-recently-used entries, keeping
@@ -345,6 +347,21 @@ impl CacheManager {
     /// Paths of every tracked cached unit, unordered (audit/test hook).
     pub fn tracked_paths(&self) -> Vec<IdPath> {
         self.index.keys().cloned().collect()
+    }
+
+    /// The `top` hottest tracked units as `(path, decayed heat at now)`,
+    /// hottest first. This is the telemetry plane's heat feed: decaying
+    /// here (with [`HEAT_HALF_LIFE`]) means the windowed heat series and
+    /// the eviction policy score a unit identically at the same instant.
+    pub fn heat_snapshot(&self, now: f64, top: usize) -> Vec<(String, f64)> {
+        let mut heats: Vec<(String, f64)> = self
+            .index
+            .values()
+            .map(|&i| (self.slab[i].path.to_string(), self.decayed_heat(i, now)))
+            .collect();
+        heats.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        heats.truncate(top);
+        heats
     }
 
     /// Counter snapshot plus current occupancy.

@@ -40,7 +40,9 @@ pub use agent::{
 };
 pub use continuous::{ContinuousRegistry, Notification};
 pub use error::{CoreError, CoreResult};
-pub use eviction::{CacheBudget, CacheLookup, CacheManager, CacheStats, EvictionPolicy};
+pub use eviction::{
+    CacheBudget, CacheLookup, CacheManager, CacheStats, EvictionPolicy, HEAT_HALF_LIFE,
+};
 pub use fragment::{FragmentStats, SiteDatabase, Status, UnitCost};
 pub use idable::IdPath;
 pub use obs::ObsPlane;

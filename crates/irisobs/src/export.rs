@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use crate::metrics::MetricsSnapshot;
 use crate::span::{CacheOutcome, Link, Phases, SpanKind, SpanRecord};
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -31,7 +31,7 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     // Shortest representation that round-trips through f64.
     let s = format!("{v}");
     if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
@@ -136,26 +136,26 @@ pub fn dump_jsonl(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
 
 /// A parsed flat-JSON value.
 #[derive(Debug, Clone, PartialEq)]
-enum JVal {
+pub(crate) enum JVal {
     S(String),
     N(f64),
     B(bool),
 }
 
 impl JVal {
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             JVal::N(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
     }
-    fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             JVal::N(n) => Some(*n),
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             JVal::S(s) => Some(s),
             _ => None,
@@ -164,7 +164,7 @@ impl JVal {
 }
 
 /// Parses one flat JSON object (string/number/bool values only).
-fn parse_flat(line: &str) -> Result<BTreeMap<String, JVal>, String> {
+pub(crate) fn parse_flat(line: &str) -> Result<BTreeMap<String, JVal>, String> {
     let mut fields = BTreeMap::new();
     let bytes = line.trim();
     let inner = bytes

@@ -16,6 +16,11 @@
 //!   equivalence checks.
 //! - [`export`] / [`quantile`]: flat JSONL dump/parse and exact
 //!   linear-interpolation percentiles.
+//! - [`telemetry`]: the *continuous* plane — windowed rate/percentile
+//!   series with order-insensitive mergeable deltas, per-fragment decayed
+//!   heat series, a tail-sampled flight recorder of complete span trees,
+//!   and the per-site health state machine; all of it scrapeable over the
+//!   wire via `Message::TelemetryRequest/TelemetryReply`.
 
 pub mod explain;
 pub mod export;
@@ -23,6 +28,7 @@ pub mod metrics;
 pub mod quantile;
 pub mod recorder;
 pub mod span;
+pub mod telemetry;
 
 pub use explain::{
     assemble, check_well_formed, explain_tree, render_explain, structure_digest, CacheCounts,
@@ -35,3 +41,8 @@ pub use metrics::{
 pub use quantile::{latency_percentiles, quantile_sorted, Percentiles};
 pub use recorder::{MemRecorder, NoopRecorder, Recorder};
 pub use span::{CacheOutcome, Link, Phases, SpanKind, SpanRecord};
+pub use telemetry::{
+    disabled_payload, parse_payload, FlightRing, FlightTrace, HealthState, ParsedPayload,
+    ParsedTrace, TelemetryConfig, TelemetryPlane, TelemetryRecorder, WindowDelta, WHAT_ALL,
+    WHAT_FLIGHT, WHAT_HEALTH, WHAT_METRICS,
+};

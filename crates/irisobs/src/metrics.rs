@@ -6,13 +6,15 @@
 //! behind an `RwLock`, but it is only touched at registration and snapshot
 //! time, never per-message.
 //!
-//! Histograms bucket by powers of two of a nanosecond-resolution fixed
-//! point (`value × 1e9`), giving ~64 buckets spanning sub-nanosecond to
-//! centuries — the classic HDR-lite trade: ≤ 2× relative error per bucket,
-//! zero allocation, zero contention beyond the bucket increment itself.
-//! The same shape serves durations (seconds in, seconds out) and small
-//! dimensionless gauges like queue depth (where ≤ 2× error is plenty to
-//! spot saturation).
+//! Histograms bucket a nanosecond-resolution fixed point (`value × 1e9`)
+//! by its top two mantissa bits past the leading one: four linear
+//! sub-buckets per power of two, 252 buckets spanning sub-nanosecond to
+//! centuries — the classic HDR-lite trade: ≤ 1.25× relative error per
+//! bucket, zero allocation, zero contention beyond the bucket increment
+//! itself. (Pure log2 bucketing collapsed all sub-millisecond latencies
+//! of one octave into a single bucket, biasing p50 on fast paths by up
+//! to 2×.) The same shape serves durations (seconds in, seconds out) and
+//! small dimensionless gauges like queue depth.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,9 +52,11 @@ impl Counter {
     }
 }
 
-/// Number of log2 buckets; bucket `i` covers fixed-point values in
-/// `[2^(i-1), 2^i)` (bucket 0 holds the value 0).
-pub const HIST_BUCKETS: usize = 64;
+/// Number of buckets: four exact buckets for fixed-point values 0–3,
+/// then four linear sub-buckets per power of two up to `2^64`. Bucket
+/// `4(m-1)+s` (for `m ≥ 2`, `s ∈ 0..4`) covers fixed-point values in
+/// `[2^(m-2)·(4+s), 2^(m-2)·(5+s))`.
+pub const HIST_BUCKETS: usize = 252;
 
 /// A lock-free log2-bucket histogram over non-negative `f64` samples.
 #[derive(Debug)]
@@ -78,20 +82,31 @@ fn to_fp(v: f64) -> u64 {
     (v.max(0.0) * 1e9) as u64
 }
 
-fn bucket_of(fp: u64) -> usize {
-    if fp == 0 {
-        0
-    } else {
-        (64 - fp.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+/// Bucket index of a fixed-point sample: the octave (position of the
+/// leading one bit) refined by the next two bits, so each power of two
+/// splits into four linear sub-buckets.
+pub fn bucket_of(fp: u64) -> usize {
+    if fp < 4 {
+        return fp as usize; // exact buckets for 0..4
     }
+    let m = 63 - fp.leading_zeros() as usize; // 2^m <= fp < 2^(m+1), m >= 2
+    let sub = ((fp >> (m - 2)) & 3) as usize; // next two bits: 0..4
+    4 * (m - 1) + sub
 }
 
-/// Upper edge of bucket `i`, decoded back to the sample domain.
-fn bucket_upper(i: usize) -> f64 {
+/// Upper edge of bucket `i`, decoded back to the sample domain. The edge
+/// is exclusive: every sample in bucket `i` is strictly below it, and at
+/// most 1.25× below it.
+pub fn bucket_upper(i: usize) -> f64 {
     if i == 0 {
         0.0
+    } else if i < 4 {
+        (i + 1) as f64 / 1e9 // buckets 1..4 each hold one exact value
     } else {
-        (1u64 << i.min(63)) as f64 / 1e9
+        let m = i / 4 + 1;
+        let s = i % 4;
+        // (5+s)·2^(m-2); u128 because m=63, s=3 reaches 2^64.
+        (((5 + s) as u128) << (m - 2)) as f64 / 1e9
     }
 }
 
@@ -123,7 +138,7 @@ impl Histogram {
     }
 
     /// Approximate `q`-quantile: the upper edge of the bucket containing
-    /// the q-th sample (≤ 2× relative error by construction).
+    /// the q-th sample (≤ 1.25× relative error by construction).
     pub fn quantile(&self, q: f64) -> f64 {
         let n = self.count();
         if n == 0 {
@@ -201,13 +216,21 @@ impl MetricsSnapshot {
             .find(|h| h.site == site && h.name == name)
     }
 
-    /// All histogram series at `site` whose name starts with `prefix` —
-    /// the per-shard runtime series (`runtime.shard<i>.*`) are enumerated
-    /// this way without knowing the shard count up front.
-    pub fn histograms_with_prefix(&self, site: u32, prefix: &str) -> Vec<&HistogramSnapshot> {
+    /// All histogram series at `site` whose name starts with `prefix`, as
+    /// `(full name, snapshot)` pairs — the per-shard runtime series
+    /// (`runtime.shard<i>.*`) are enumerated this way without knowing the
+    /// shard count up front, and the returned name says which shard each
+    /// snapshot belongs to (callers used to have to re-infer that from
+    /// position).
+    pub fn histograms_with_prefix(
+        &self,
+        site: u32,
+        prefix: &str,
+    ) -> Vec<(&str, &HistogramSnapshot)> {
         self.histograms
             .iter()
             .filter(|h| h.site == site && h.name.starts_with(prefix))
+            .map(|h| (h.name.as_str(), h))
             .collect()
     }
 }
@@ -262,6 +285,43 @@ impl Registry {
         )
     }
 
+    /// The series of a single site, sorted by name. O(series at that
+    /// site) via the BTreeMap key order — this is what the telemetry
+    /// plane samples per quiescent point, so it must not scan the whole
+    /// cluster's registry.
+    pub fn snapshot_site(&self, site: u32) -> MetricsSnapshot {
+        let from = (site, String::new());
+        let counters = self
+            .counters
+            .read()
+            .unwrap()
+            .range(from.clone()..)
+            .take_while(|((s, _), _)| *s == site)
+            .map(|((site, name), c)| CounterSnapshot {
+                site: *site,
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap()
+            .range(from..)
+            .take_while(|((s, _), _)| *s == site)
+            .map(|((site, name), h)| HistogramSnapshot {
+                site: *site,
+                name: name.clone(),
+                count: h.count(),
+                mean: h.mean(),
+                p50: h.quantile(0.5),
+                p99: h.quantile(0.99),
+                buckets: h.nonzero_buckets(),
+            })
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+
     /// All series, sorted by `(site, name)` for deterministic export.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
@@ -307,16 +367,57 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_log2() {
+    fn histogram_buckets_are_log2_with_linear_subscale() {
+        // Exact buckets below 4, then four sub-buckets per octave.
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 1);
         assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(3), 3);
+        assert_eq!(bucket_of(4), 4);
+        assert_eq!(bucket_of(7), 7);
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_of(9), 8);
+        assert_eq!(bucket_of(10), 9);
         assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
         // Upper edges decode back into the sample domain.
         assert_eq!(bucket_upper(0), 0.0);
         assert_eq!(bucket_upper(1), 2e-9);
+        assert_eq!(bucket_upper(4), 5e-9);
+        assert_eq!(bucket_upper(8), 1e-8);
+        // bucket_of and bucket_upper agree: each sample sits strictly
+        // below its bucket's upper edge and at/above the previous one's.
+        // (u64::MAX itself is excluded: it rounds to exactly 2^64 in f64
+        // and so ties, rather than undercuts, the top bucket's edge.)
+        for fp in [1u64, 5, 100, 12_345, 1 << 40, (1 << 63) + 12_345] {
+            let i = bucket_of(fp);
+            assert!((fp as f64 / 1e9) < bucket_upper(i), "fp={fp}");
+            if i > 0 {
+                assert!((fp as f64 / 1e9) >= bucket_upper(i - 1) - 1e-18, "fp={fp}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_latencies_stay_distinguishable() {
+        // 300µs and 400µs share an octave (2^18 ≤ fp < 2^19): pure log2
+        // bucketing collapsed them, the sub-scale keeps them apart.
+        let (a, b) = (to_fp(3e-4), to_fp(4e-4));
+        assert_eq!(63 - a.leading_zeros(), 63 - b.leading_zeros(), "same octave");
+        assert_ne!(bucket_of(a), bucket_of(b), "distinct sub-buckets");
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_within_a_quarter() {
+        // The estimate always bounds the true value from above, by ≤ 1.25×.
+        for v in [2.5e-7, 3e-4, 0.123, 0.9, 17.0] {
+            let h = Histogram::new();
+            for _ in 0..100 {
+                h.observe(v);
+            }
+            let est = h.quantile(0.5);
+            assert!(est > v, "estimate {est} not above true {v}");
+            assert!(est <= v * 1.250_001, "estimate {est} > 1.25× true {v}");
+        }
     }
 
     #[test]
@@ -382,6 +483,44 @@ mod tests {
             keys,
             vec![(1, "a".into()), (1, "z".into()), (2, "b".into())]
         );
+    }
+
+    #[test]
+    fn snapshot_site_is_exactly_that_sites_series() {
+        let r = Registry::new();
+        r.counter(1, "a").add(1);
+        r.counter(2, "a").add(2);
+        r.counter(2, "b").add(3);
+        r.counter(3, "a").add(4);
+        r.histogram(2, "lat").observe(0.1);
+        r.histogram(3, "lat").observe(0.2);
+        let s = r.snapshot_site(2);
+        assert_eq!(
+            s.counters.iter().map(|c| (c.name.as_str(), c.value)).collect::<Vec<_>>(),
+            vec![("a", 2), ("b", 3)]
+        );
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].count, 1);
+        assert!(r.snapshot_site(9).counters.is_empty());
+    }
+
+    #[test]
+    fn histograms_with_prefix_names_the_match() {
+        let r = Registry::new();
+        r.histogram(0, "runtime.shard0.mailbox_wait").observe(0.1);
+        r.histogram(0, "runtime.shard1.mailbox_wait").observe(0.2);
+        r.histogram(0, "other").observe(0.3);
+        let s = r.snapshot();
+        let got = s.histograms_with_prefix(0, "runtime.shard");
+        let names: Vec<&str> = got.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["runtime.shard0.mailbox_wait", "runtime.shard1.mailbox_wait"]
+        );
+        for (name, h) in got {
+            assert_eq!(name, h.name, "pair name matches the snapshot it labels");
+            assert_eq!(h.count, 1);
+        }
     }
 
     #[test]

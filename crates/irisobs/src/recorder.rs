@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::metrics::Registry;
 use crate::span::SpanRecord;
+use crate::telemetry::TelemetryPlane;
 
 /// A sink for spans and a home for metric series. Implementations must be
 /// cheap to call from every site thread concurrently.
@@ -30,6 +31,14 @@ pub trait Recorder: std::fmt::Debug + Send + Sync {
     /// registered through here at setup; `None` means callers should keep
     /// their plain internal counters and register nothing.
     fn registry(&self) -> Option<&Registry>;
+
+    /// The continuous telemetry plane, if this recorder carries one.
+    /// `None` (the default) means no windowed series, no flight recorder:
+    /// scrape requests answer with a minimal `enabled:false` payload and
+    /// the agent's quiescent-point sampling hook is a no-op.
+    fn telemetry(&self) -> Option<&TelemetryPlane> {
+        None
+    }
 }
 
 /// The zero-cost default: drops everything, owns nothing.

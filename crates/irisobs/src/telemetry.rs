@@ -1,0 +1,1356 @@
+//! Continuous telemetry plane: windowed series, a tail-sampled flight
+//! recorder, and the scrape payload codec.
+//!
+//! The cumulative plane (counters, histograms, span dumps) answers "how
+//! much, ever"; this module answers "how much, *lately*" and "what exactly
+//! happened to the query that went wrong" — the two signals closed-loop
+//! placement needs (ROADMAP item 5) and the two the paper's Fig. 9
+//! load-balancing owner is presumed to have about its own hot fragments.
+//!
+//! Three cooperating pieces, all owned by a [`TelemetryPlane`] that rides
+//! inside a [`TelemetryRecorder`]:
+//!
+//! * **Windowed aggregation** — a fixed-width ring of time buckets per
+//!   counter/histogram series (configurable width × depth, default 5 s ×
+//!   24). Sampling is *delta-based*: at each sample point the plane diffs
+//!   the cumulative registry values against the previous sample and
+//!   credits the delta to the bucket `floor(now / width)`. Buckets are
+//!   epoch-aligned absolute indices, so [`WindowDelta`] snapshots from
+//!   different sites or different scrapes merge by plain per-bucket
+//!   addition — commutative and associative by construction (the proptest
+//!   in `tests/telemetry_prop.rs` pins this). Rotated-out buckets fold
+//!   into an `evicted` accumulator, so `evicted + Σ buckets` always equals
+//!   the cumulative total sampled — nothing is silently lost.
+//!   Per-fragment heat series reuse the eviction plane's half-life
+//!   discipline: the agent feeds decayed per-unit heat from its
+//!   `CacheManager` and the plane re-decays between samples with the same
+//!   half-life.
+//!
+//! * **Flight recorder** — a bounded per-site ring of *complete span
+//!   trees*, tail-sampled: every span of an in-flight query is buffered in
+//!   its trace group, and only when the trace seals (its user-facing
+//!   finalize span arrives) do the trigger predicates decide whether to
+//!   retain it: answer latency over threshold, any `partial="true"` span,
+//!   any retry, or an error finalize (`SiteDown`). Healthy traces are
+//!   dropped wholesale, so post-hoc `explain` works for exactly the
+//!   queries that went wrong at a bounded memory cost.
+//!
+//! * **Health state machine** — per-site Healthy / Degraded / Unreachable,
+//!   derived at sample points from the retry, partial-answer and
+//!   queue-wait windows. A site never self-reports Unreachable; that edge
+//!   is driven by the substrate (site stopped or crashed) or concluded by
+//!   a scraper whose probe failed. The current state is surfaced as the
+//!   `health.state` gauge (0/1/2) and in every scrape payload.
+//!
+//! The scrape payload is JSONL — flat, `"type"`-discriminated lines in the
+//! same dialect as [`crate::export`], so `jq` and the existing span parser
+//! both consume it unchanged. Span lines inside a flight-recorder dump
+//! carry an extra `"trace"` field tying them to their `flight_trace` line.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::export::{fmt_f64, parse_flat, push_json_str, span_from_jsonl, span_to_jsonl, JVal};
+use crate::metrics::{bucket_upper, Registry};
+use crate::recorder::Recorder;
+use crate::span::{Link, SpanKind, SpanRecord};
+
+/// Scrape selector: everything.
+pub const WHAT_ALL: u8 = 0;
+/// Scrape selector: windowed metric series only.
+pub const WHAT_METRICS: u8 = 1;
+/// Scrape selector: flight-recorder dump only.
+pub const WHAT_FLIGHT: u8 = 2;
+/// Scrape selector: health line only.
+pub const WHAT_HEALTH: u8 = 3;
+
+/// Tuning for the whole plane. Defaults match the ISSUE's example shape
+/// (5 s × 24 window) and the eviction plane's 120 s heat half-life.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Width of one window bucket, seconds.
+    pub window_width: f64,
+    /// Number of buckets retained per series.
+    pub window_depth: usize,
+    /// Half-life (seconds) for the per-fragment heat series; core feeds
+    /// `eviction::HEAT_HALF_LIFE` here so both planes decay identically.
+    pub heat_half_life: f64,
+    /// Hottest fragments tracked per site (the heat feed is truncated to
+    /// this many paths; colder series are displaced).
+    pub heat_top: usize,
+    /// Flight recorder: max retained traces per site.
+    pub flight_max_traces: usize,
+    /// Flight recorder: max retained bytes per site (approximate span
+    /// footprint, see [`span_bytes`]).
+    pub flight_max_bytes: usize,
+    /// Flight recorder: max unsealed trace groups buffered at once; the
+    /// oldest group is dropped when a new root would exceed this.
+    pub flight_max_pending: usize,
+    /// Flight recorder: max spans buffered per trace (beyond this the
+    /// trace is marked truncated and further spans are counted, not kept).
+    pub flight_max_spans: usize,
+    /// Trigger: retain a trace whose root-to-finalize latency exceeds
+    /// this many seconds.
+    pub latency_threshold: f64,
+    /// Health: retries within the window at or above this ⇒ Degraded.
+    pub retry_degraded: u64,
+    /// Health: partial answers within the window at or above this ⇒
+    /// Degraded.
+    pub partial_degraded: u64,
+    /// Health: windowed p99 of any `*queue_wait`/`*mailbox_wait` series
+    /// above this many seconds ⇒ Degraded.
+    pub queue_wait_degraded: f64,
+    /// Also retain every span cumulatively (MemRecorder-style), so trace
+    /// oracles (structure digests) can run against this recorder. Test
+    /// harness switch; production scrapes never need it.
+    pub keep_spans: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            window_width: 5.0,
+            window_depth: 24,
+            heat_half_life: 120.0,
+            heat_top: 16,
+            flight_max_traces: 32,
+            flight_max_bytes: 256 * 1024,
+            flight_max_pending: 1024,
+            flight_max_spans: 512,
+            latency_threshold: 1.0,
+            retry_degraded: 1,
+            partial_degraded: 1,
+            queue_wait_degraded: 0.5,
+            keep_spans: false,
+        }
+    }
+}
+
+/// Per-site health, derived from the retry / partial-answer / queue-wait
+/// windows. `Unreachable` is externally driven: a site that can answer a
+/// scrape is by definition reachable, so only the substrate (stop/crash)
+/// or a failed probe moves a site there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    #[default]
+    Healthy,
+    Degraded,
+    Unreachable,
+}
+
+impl HealthState {
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Unreachable => "unreachable",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<HealthState> {
+        Some(match s {
+            "healthy" => HealthState::Healthy,
+            "degraded" => HealthState::Degraded,
+            "unreachable" => HealthState::Unreachable,
+            _ => return None,
+        })
+    }
+
+    /// Gauge encoding (the `health.state` counter value).
+    pub fn gauge(self) -> u64 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Unreachable => 2,
+        }
+    }
+
+    /// How a scraper classifies a probe result: a site that answered is
+    /// whatever it says it is; a site that didn't is unreachable.
+    pub fn classify_probe(reply: Option<HealthState>) -> HealthState {
+        reply.unwrap_or(HealthState::Unreachable)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Windowed aggregation
+// ---------------------------------------------------------------------
+
+/// One counter series' window: epoch-aligned buckets plus the rotated-out
+/// remainder. Invariant: `evicted + Σ buckets == total`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterWindow {
+    /// Cumulative value at the last sample.
+    pub total: u64,
+    /// Sum of every delta whose bucket has rotated out of the window.
+    pub evicted: u64,
+    /// Non-empty buckets: absolute bucket index → delta observed there.
+    pub buckets: BTreeMap<u64, u64>,
+}
+
+impl CounterWindow {
+    fn add(&mut self, idx: u64, delta: u64, depth: usize) {
+        self.total += delta;
+        if delta > 0 {
+            *self.buckets.entry(idx).or_insert(0) += delta;
+        }
+        self.rotate(idx, depth);
+    }
+
+    fn rotate(&mut self, cur: u64, depth: usize) {
+        let horizon = cur.saturating_sub(depth.saturating_sub(1) as u64);
+        while let Some((&idx, &v)) = self.buckets.iter().next() {
+            if idx >= horizon {
+                break;
+            }
+            self.evicted += v;
+            self.buckets.remove(&idx);
+        }
+    }
+
+    /// Sum over the retained buckets (the "recent" signal).
+    pub fn windowed(&self) -> u64 {
+        self.buckets.values().sum()
+    }
+
+    /// Order-insensitive merge: totals add, per-bucket deltas add.
+    pub fn merge(&mut self, other: &CounterWindow) {
+        self.total += other.total;
+        self.evicted += other.evicted;
+        for (&idx, &v) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += v;
+        }
+    }
+}
+
+/// One histogram series' window: per-bucket-index deltas of the
+/// fixed-point histogram buckets, same rotation discipline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistWindow {
+    /// Cumulative sample count at the last sample.
+    pub total: u64,
+    /// Count of samples whose window bucket rotated out.
+    pub evicted: u64,
+    /// Absolute window bucket → (histogram bucket index → count delta).
+    pub buckets: BTreeMap<u64, BTreeMap<usize, u64>>,
+}
+
+impl HistWindow {
+    fn add(&mut self, idx: u64, delta: &BTreeMap<usize, u64>, depth: usize) {
+        let n: u64 = delta.values().sum();
+        self.total += n;
+        if n > 0 {
+            let slot = self.buckets.entry(idx).or_default();
+            for (&b, &c) in delta {
+                *slot.entry(b).or_insert(0) += c;
+            }
+        }
+        self.rotate(idx, depth);
+    }
+
+    fn rotate(&mut self, cur: u64, depth: usize) {
+        let horizon = cur.saturating_sub(depth.saturating_sub(1) as u64);
+        while let Some((&idx, _)) = self.buckets.iter().next() {
+            if idx >= horizon {
+                break;
+            }
+            let slot = self.buckets.remove(&idx).unwrap_or_default();
+            self.evicted += slot.values().sum::<u64>();
+        }
+    }
+
+    /// Samples inside the retained window.
+    pub fn windowed_count(&self) -> u64 {
+        self.buckets.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Approximate quantile over the retained window (histogram bucket
+    /// upper edges, same error bound as the cumulative histogram).
+    pub fn windowed_quantile(&self, q: f64) -> f64 {
+        let n = self.windowed_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut merged: BTreeMap<usize, u64> = BTreeMap::new();
+        for slot in self.buckets.values() {
+            for (&b, &c) in slot {
+                *merged.entry(b).or_insert(0) += c;
+            }
+        }
+        let mut seen = 0u64;
+        for (&b, &c) in &merged {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        0.0
+    }
+
+    pub fn merge(&mut self, other: &HistWindow) {
+        self.total += other.total;
+        self.evicted += other.evicted;
+        for (&idx, slot) in &other.buckets {
+            let mine = self.buckets.entry(idx).or_default();
+            for (&b, &c) in slot {
+                *mine.entry(b).or_insert(0) += c;
+            }
+        }
+    }
+}
+
+/// A mergeable snapshot of windowed series — what a scrape carries and
+/// what a cluster-wide aggregator folds together. Merging is per-key
+/// bucket addition over `BTreeMap`s, so it is order-insensitive: for any
+/// deltas `a, b, c`, `merge(merge(a,b),c) == merge(a,merge(b,c))` and
+/// `merge(a,b) == merge(b,a)` (pinned by proptest).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowDelta {
+    /// Bucket width the indices are aligned to, seconds.
+    pub width: f64,
+    pub counters: BTreeMap<(u32, String), CounterWindow>,
+    pub hists: BTreeMap<(u32, String), HistWindow>,
+}
+
+impl WindowDelta {
+    pub fn merge(&mut self, other: &WindowDelta) {
+        if self.width == 0.0 {
+            self.width = other.width;
+        }
+        for (k, v) in &other.counters {
+            self.counters.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.hists {
+            self.hists.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+/// One fragment's heat series at a site: the latest decayed heat (fed
+/// from the eviction plane, re-decayed on read) plus a window of
+/// per-bucket heat samples.
+#[derive(Debug, Clone)]
+struct HeatSeries {
+    heat: f64,
+    last: f64,
+    /// Absolute window bucket → last heat sampled in that bucket.
+    buckets: BTreeMap<u64, f64>,
+}
+
+#[derive(Debug, Default)]
+struct HealthCell {
+    state: HealthState,
+    transitions: u64,
+    reachable: bool,
+}
+
+/// Mutable window/health state, one lock for the whole plane. Touched at
+/// sample points and scrapes only — never per message, never per span.
+#[derive(Debug, Default)]
+struct Windows {
+    counters: BTreeMap<(u32, String), CounterWindow>,
+    hists: BTreeMap<(u32, String), HistWindow>,
+    /// Last cumulative per-bucket counts per histogram series, for diffs.
+    hist_last: HashMap<(u32, String), BTreeMap<usize, u64>>,
+    heat: HashMap<u32, BTreeMap<String, HeatSeries>>,
+    health: HashMap<u32, HealthCell>,
+    last_sample: HashMap<u32, f64>,
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// Approximate retained footprint of one span: fixed header plus the only
+/// unbounded field. Used for the ring's byte budget.
+pub fn span_bytes(s: &SpanRecord) -> usize {
+    let link = match &s.link {
+        Link::Transfer { path } => path.len(),
+        _ => 0,
+    };
+    96 + s.detail.len() + link
+}
+
+/// One retained trace: the complete span tree of a query that tripped a
+/// trigger predicate, in record order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightTrace {
+    /// Monotone per-plane sequence number (recency order across sites).
+    pub seq: u64,
+    /// Site the user query arrived at — the ring this trace lives in.
+    pub root_site: u32,
+    /// `+`-joined trigger predicates that fired ("partial", "retry",
+    /// "latency", "error"), in canonical order.
+    pub trigger: String,
+    /// Time of the sealing finalize span (recording substrate's clock).
+    pub sealed_at: f64,
+    /// True when the group hit `flight_max_spans` and later spans were
+    /// counted but not kept.
+    pub truncated: bool,
+    pub spans: Vec<SpanRecord>,
+}
+
+impl FlightTrace {
+    pub fn bytes(&self) -> usize {
+        self.spans.iter().map(span_bytes).sum()
+    }
+}
+
+/// A bounded ring of triggered traces: never exceeds either budget, and
+/// always retains the most recent traces that fit (oldest evicted first).
+/// A single trace larger than the byte budget is refused outright.
+/// Public so the budget/retention proptest can drive it directly.
+#[derive(Debug, Default)]
+pub struct FlightRing {
+    max_traces: usize,
+    max_bytes: usize,
+    bytes: usize,
+    traces: VecDeque<FlightTrace>,
+}
+
+impl FlightRing {
+    pub fn new(max_traces: usize, max_bytes: usize) -> FlightRing {
+        FlightRing { max_traces, max_bytes, bytes: 0, traces: VecDeque::new() }
+    }
+
+    pub fn push(&mut self, trace: FlightTrace) {
+        let sz = trace.bytes();
+        if sz > self.max_bytes || self.max_traces == 0 {
+            return; // can never fit; keeping what we have beats keeping nothing
+        }
+        self.traces.push_back(trace);
+        self.bytes += sz;
+        while self.traces.len() > self.max_traces || self.bytes > self.max_bytes {
+            if let Some(old) = self.traces.pop_front() {
+                self.bytes -= old.bytes();
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn traces(&self) -> impl Iterator<Item = &FlightTrace> {
+        self.traces.iter()
+    }
+}
+
+/// One unsealed trace group: spans buffered until the user finalize
+/// arrives and the trigger predicates run.
+#[derive(Debug)]
+struct Group {
+    root_site: u32,
+    root_span: u64,
+    root_t0: f64,
+    spans: Vec<SpanRecord>,
+    span_ids: Vec<u64>,
+    truncated: bool,
+    partial: bool,
+    retried: bool,
+    errored: bool,
+}
+
+#[derive(Debug, Default)]
+struct Flight {
+    groups: HashMap<u64, Group>,
+    by_root: HashMap<(u64, u64), u64>,
+    by_span: HashMap<u64, u64>,
+    by_ask: HashMap<(u32, u64), u64>,
+    order: VecDeque<u64>,
+    next_group: u64,
+    seq: u64,
+    rings: HashMap<u32, FlightRing>,
+    /// Spans that arrived with no resolvable group (late answers after a
+    /// seal, children of dropped groups). Counted, not kept.
+    orphans: u64,
+}
+
+// ---------------------------------------------------------------------
+// The plane
+// ---------------------------------------------------------------------
+
+/// The continuous telemetry plane. Shared across every site of a cluster
+/// through the recorder `Arc`; all state sits behind two mutexes that are
+/// only taken at span-record time (flight) and sample/scrape time
+/// (windows) — the metric hot path (atomic counter bumps) never comes
+/// near it.
+#[derive(Debug)]
+pub struct TelemetryPlane {
+    cfg: TelemetryConfig,
+    windows: Mutex<Windows>,
+    flight: Mutex<Flight>,
+}
+
+impl TelemetryPlane {
+    pub fn new(cfg: TelemetryConfig) -> TelemetryPlane {
+        TelemetryPlane {
+            cfg,
+            windows: Mutex::new(Windows::default()),
+            flight: Mutex::new(Flight::default()),
+        }
+    }
+
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    fn bucket_of(&self, now: f64) -> u64 {
+        (now.max(0.0) / self.cfg.window_width) as u64
+    }
+
+    /// True when `site` has not been sampled within one bucket width —
+    /// the agent's quiescent-point hook calls this first so steady-state
+    /// traffic costs one map lookup per quiescent point, not a sample.
+    pub fn sample_due(&self, site: u32, now: f64) -> bool {
+        let w = self.windows.lock().unwrap();
+        match w.last_sample.get(&site) {
+            Some(&t) => now - t >= self.cfg.window_width,
+            None => true,
+        }
+    }
+
+    /// Samples every series of `site` from the registry: the cumulative
+    /// delta since the previous sample is credited to the current window
+    /// bucket, then the health state machine steps and publishes its
+    /// gauge. O(series at this site); call at quiescent points and
+    /// scrapes, never on the message path.
+    pub fn sample_site(&self, site: u32, now: f64, reg: &Registry) {
+        let snap = reg.snapshot_site(site);
+        let idx = self.bucket_of(now);
+        let depth = self.cfg.window_depth;
+        let mut w = self.windows.lock().unwrap();
+        w.last_sample.insert(site, now);
+        for c in &snap.counters {
+            if c.name == "health.state" {
+                continue; // the gauge is an output of sampling, not an input
+            }
+            let key = (site, c.name.clone());
+            let win = w.counters.entry(key).or_default();
+            let delta = c.value.saturating_sub(win.total);
+            win.add(idx, delta, depth);
+            // A gauge that moved *down* (counters mirrored via `set`)
+            // re-anchors the baseline without crediting a delta.
+            if c.value < win.total {
+                win.total = c.value;
+            }
+        }
+        for h in &snap.histograms {
+            let key = (site, h.name.clone());
+            let cur: BTreeMap<usize, u64> = h.buckets.iter().copied().collect();
+            let last = w.hist_last.entry(key.clone()).or_default();
+            let mut delta: BTreeMap<usize, u64> = BTreeMap::new();
+            for (&b, &c) in &cur {
+                let prev = last.get(&b).copied().unwrap_or(0);
+                if c > prev {
+                    delta.insert(b, c - prev);
+                }
+            }
+            *last = cur;
+            w.hists.entry(key).or_default().add(idx, &delta, depth);
+        }
+        // Health: step the FSM from the freshly advanced windows.
+        let state = Self::derive_health(&self.cfg, &w, site);
+        let cell = w.health.entry(site).or_insert_with(|| HealthCell {
+            state: HealthState::Healthy,
+            transitions: 0,
+            reachable: true,
+        });
+        if cell.reachable && state != cell.state {
+            cell.transitions += 1;
+            cell.state = state;
+        }
+        let gauge = cell.state.gauge();
+        drop(w);
+        reg.counter(site, "health.state").set(gauge);
+    }
+
+    fn derive_health(cfg: &TelemetryConfig, w: &Windows, site: u32) -> HealthState {
+        let windowed = |name: &str| {
+            w.counters
+                .get(&(site, name.to_string()))
+                .map_or(0, CounterWindow::windowed)
+        };
+        let retries = windowed("oa.retries_sent") + windowed("oa.asks_abandoned");
+        let partials = windowed("oa.partial_answers");
+        let queue_p99 = w
+            .hists
+            .iter()
+            .filter(|((s, name), _)| {
+                *s == site && (name.ends_with("queue_wait") || name.ends_with("mailbox_wait"))
+            })
+            .map(|(_, win)| win.windowed_quantile(0.99))
+            .fold(0.0f64, f64::max);
+        if retries >= cfg.retry_degraded
+            || partials >= cfg.partial_degraded
+            || queue_p99 > cfg.queue_wait_degraded
+        {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        }
+    }
+
+    /// Substrate hook: a stopped/crashed site is Unreachable until marked
+    /// back. Self-samples cannot clear it (a dead site does not sample).
+    pub fn set_reachable(&self, site: u32, reachable: bool) {
+        let mut w = self.windows.lock().unwrap();
+        let cell = w.health.entry(site).or_insert_with(|| HealthCell {
+            state: HealthState::Healthy,
+            transitions: 0,
+            reachable: true,
+        });
+        if cell.reachable != reachable {
+            cell.transitions += 1;
+            cell.reachable = reachable;
+            cell.state = if reachable { HealthState::Healthy } else { HealthState::Unreachable };
+        }
+    }
+
+    /// Current health of `site` as last derived (scrapers reading a
+    /// cluster-shared plane; a cross-process observer uses the payload).
+    pub fn health(&self, site: u32) -> HealthState {
+        self.windows
+            .lock()
+            .unwrap()
+            .health
+            .get(&site)
+            .map_or(HealthState::Healthy, |c| c.state)
+    }
+
+    /// Heat feed from the eviction plane: `heats` is `(unit path, decayed
+    /// heat now)` for the hottest cached units at `site`. The plane keeps
+    /// at most `heat_top` series per site, displacing the coldest.
+    pub fn record_heat(&self, site: u32, now: f64, heats: &[(String, f64)]) {
+        let idx = self.bucket_of(now);
+        let horizon = idx.saturating_sub(self.cfg.window_depth.saturating_sub(1) as u64);
+        let mut w = self.windows.lock().unwrap();
+        let per_site = w.heat.entry(site).or_default();
+        for (path, heat) in heats.iter().take(self.cfg.heat_top) {
+            match per_site.get_mut(path) {
+                Some(s) => {
+                    s.heat = *heat;
+                    s.last = now;
+                    s.buckets.insert(idx, *heat);
+                    while let Some((&b, _)) = s.buckets.iter().next() {
+                        if b >= horizon {
+                            break;
+                        }
+                        s.buckets.remove(&b);
+                    }
+                }
+                None => {
+                    if per_site.len() >= self.cfg.heat_top {
+                        // Displace the coldest tracked series, if colder.
+                        let coldest = per_site
+                            .iter()
+                            .min_by(|a, b| a.1.heat.total_cmp(&b.1.heat))
+                            .map(|(p, s)| (p.clone(), s.heat));
+                        match coldest {
+                            Some((p, h)) if h < *heat => {
+                                per_site.remove(&p);
+                            }
+                            _ => continue,
+                        }
+                    }
+                    per_site.insert(
+                        path.clone(),
+                        HeatSeries { heat: *heat, last: now, buckets: BTreeMap::from([(idx, *heat)]) },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The windowed series of `site` as a mergeable snapshot.
+    pub fn window_delta(&self, site: u32) -> WindowDelta {
+        let w = self.windows.lock().unwrap();
+        WindowDelta {
+            width: self.cfg.window_width,
+            counters: w
+                .counters
+                .iter()
+                .filter(|((s, _), _)| *s == site)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            hists: w
+                .hists
+                .iter()
+                .filter(|((s, _), _)| *s == site)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Flight recorder
+    // -----------------------------------------------------------------
+
+    /// Routes one recorded span into its trace group; called by the
+    /// recorder for every span. Seals the group (and runs the trigger
+    /// predicates) when the user-facing finalize arrives.
+    pub fn ingest_span(&self, span: &SpanRecord) {
+        let mut f = self.flight.lock().unwrap();
+        let gid = match &span.link {
+            Link::Transfer { .. } => return, // migration traces have their own explain path
+            Link::Root { endpoint, qid } => {
+                let key = (*endpoint, *qid);
+                match f.by_root.get(&key) {
+                    Some(&g) => g,
+                    None => {
+                        if f.groups.len() >= self.cfg.flight_max_pending {
+                            // Drop the oldest unsealed group (likely leaked
+                            // by a crash) rather than growing unbounded.
+                            if let Some(old) = f.order.pop_front() {
+                                Self::drop_group(&mut f, old);
+                            }
+                        }
+                        let g = f.next_group;
+                        f.next_group += 1;
+                        f.groups.insert(
+                            g,
+                            Group {
+                                root_site: span.site,
+                                root_span: span.id,
+                                root_t0: span.t0,
+                                spans: Vec::new(),
+                                span_ids: Vec::new(),
+                                truncated: false,
+                                partial: false,
+                                retried: false,
+                                errored: false,
+                            },
+                        );
+                        f.by_root.insert(key, g);
+                        f.order.push_back(g);
+                        g
+                    }
+                }
+            }
+            Link::ChildOf { parent } => match f.by_span.get(parent) {
+                Some(&g) => g,
+                None => {
+                    f.orphans += 1;
+                    return;
+                }
+            },
+            Link::Ask { asker, sub_qid } => match f.by_ask.get(&(*asker, *sub_qid)) {
+                Some(&g) => g,
+                None => {
+                    f.orphans += 1;
+                    return;
+                }
+            },
+        };
+        let Some(g) = f.groups.get_mut(&gid) else {
+            f.orphans += 1;
+            return;
+        };
+        if span.partial {
+            g.partial = true;
+        }
+        if span.kind == SpanKind::Retry {
+            g.retried = true;
+        }
+        if span.kind == SpanKind::Finalize && span.detail == "error" {
+            g.errored = true;
+        }
+        if g.spans.len() < self.cfg.flight_max_spans {
+            g.spans.push(span.clone());
+        } else {
+            g.truncated = true;
+        }
+        g.span_ids.push(span.id);
+        let root_span = g.root_span;
+        let root_t0 = g.root_t0;
+        let root_site = g.root_site;
+        f.by_span.insert(span.id, gid);
+        if matches!(span.kind, SpanKind::Ask | SpanKind::Retry) && span.corr != 0 {
+            f.by_ask.insert((span.site, span.corr), gid);
+        }
+        // Seal on the user-facing terminal span: the root query's
+        // finalize ("user" reply, or an error finalize chained directly
+        // to the root). Sub-site finalizes ("site") keep the group open.
+        let seals = span.kind == SpanKind::Finalize
+            && (span.detail == "user"
+                || (span.detail == "error"
+                    && matches!(span.link, Link::ChildOf { parent } if parent == root_span)));
+        if !seals {
+            return;
+        }
+        let latency = span.t0 + span.dur - root_t0;
+        let mut triggers = Vec::new();
+        {
+            let g = f.groups.get(&gid).expect("sealing a live group");
+            if g.partial {
+                triggers.push("partial");
+            }
+            if g.retried {
+                triggers.push("retry");
+            }
+            if g.errored {
+                triggers.push("error");
+            }
+        }
+        if latency > self.cfg.latency_threshold {
+            triggers.push("latency");
+        }
+        if triggers.is_empty() {
+            Self::drop_group(&mut f, gid);
+            return;
+        }
+        f.seq += 1;
+        let seq = f.seq;
+        let trigger = triggers.join("+");
+        let g = Self::unlink_group(&mut f, gid).expect("sealing a live group");
+        let trace = FlightTrace {
+            seq,
+            root_site,
+            trigger,
+            sealed_at: span.t0 + span.dur,
+            truncated: g.truncated,
+            spans: g.spans,
+        };
+        let (max_t, max_b) = (self.cfg.flight_max_traces, self.cfg.flight_max_bytes);
+        f.rings
+            .entry(root_site)
+            .or_insert_with(|| FlightRing::new(max_t, max_b))
+            .push(trace);
+    }
+
+    /// Removes a group and every index entry pointing at it.
+    fn unlink_group(f: &mut Flight, gid: u64) -> Option<Group> {
+        let g = f.groups.remove(&gid)?;
+        for id in &g.span_ids {
+            f.by_span.remove(id);
+        }
+        f.by_span.remove(&g.root_span);
+        f.by_root.retain(|_, &mut v| v != gid);
+        f.by_ask.retain(|_, &mut v| v != gid);
+        f.order.retain(|&v| v != gid);
+        Some(g)
+    }
+
+    fn drop_group(f: &mut Flight, gid: u64) {
+        let _ = Self::unlink_group(f, gid);
+    }
+
+    /// The retained traces rooted at `site`, oldest first.
+    pub fn flight_dump(&self, site: u32) -> Vec<FlightTrace> {
+        self.flight
+            .lock()
+            .unwrap()
+            .rings
+            .get(&site)
+            .map(|r| r.traces().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Unsealed groups currently buffered (test/introspection hook).
+    pub fn pending_groups(&self) -> usize {
+        self.flight.lock().unwrap().groups.len()
+    }
+
+    // -----------------------------------------------------------------
+    // Scrape payload
+    // -----------------------------------------------------------------
+
+    /// Renders the scrape payload for `site`: JSONL, one flat object per
+    /// line. The first line is the `telemetry` header (always present);
+    /// `what` selects which sections follow.
+    pub fn payload(&self, site: u32, what: u8, now: f64) -> String {
+        let mut out = String::with_capacity(1024);
+        let w = self.windows.lock().unwrap();
+        let (state, transitions) = w
+            .health
+            .get(&site)
+            .map_or((HealthState::Healthy, 0), |c| (c.state, c.transitions));
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"telemetry\",\"site\":{},\"now\":{},\"what\":{},\"enabled\":true,\
+             \"health\":\"{}\",\"health_transitions\":{},\"win_width\":{},\"win_depth\":{}}}",
+            site,
+            fmt_f64(now),
+            what,
+            state.label(),
+            transitions,
+            fmt_f64(self.cfg.window_width),
+            self.cfg.window_depth
+        );
+        if matches!(what, WHAT_ALL | WHAT_METRICS) {
+            for ((s, name), win) in w.counters.iter().filter(|((s, _), _)| *s == site) {
+                let buckets: Vec<String> =
+                    win.buckets.iter().map(|(i, v)| format!("{i}:{v}")).collect();
+                let _ = write!(out, "{{\"type\":\"win_counter\",\"site\":{s},\"name\":");
+                push_json_str(&mut out, name);
+                let _ = write!(
+                    out,
+                    ",\"total\":{},\"evicted\":{},\"windowed\":{},\"buckets\":",
+                    win.total,
+                    win.evicted,
+                    win.windowed()
+                );
+                push_json_str(&mut out, &buckets.join(" "));
+                let _ = writeln!(out, "}}");
+            }
+            for ((s, name), win) in w.hists.iter().filter(|((s, _), _)| *s == site) {
+                let _ = write!(out, "{{\"type\":\"win_hist\",\"site\":{s},\"name\":");
+                push_json_str(&mut out, name);
+                let _ = writeln!(
+                    out,
+                    ",\"total\":{},\"evicted\":{},\"win_count\":{},\"win_p50\":{},\"win_p99\":{}}}",
+                    win.total,
+                    win.evicted,
+                    win.windowed_count(),
+                    fmt_f64(win.windowed_quantile(0.5)),
+                    fmt_f64(win.windowed_quantile(0.99))
+                );
+            }
+            if let Some(per_site) = w.heat.get(&site) {
+                for (path, s) in per_site {
+                    let decayed = if s.heat > 0.0 {
+                        s.heat * 0.5f64.powf(((now - s.last).max(0.0)) / self.cfg.heat_half_life)
+                    } else {
+                        0.0
+                    };
+                    let buckets: Vec<String> = s
+                        .buckets
+                        .iter()
+                        .map(|(i, v)| format!("{i}:{}", fmt_f64(*v)))
+                        .collect();
+                    let _ = write!(out, "{{\"type\":\"heat\",\"site\":{site},\"path\":");
+                    push_json_str(&mut out, path);
+                    let _ = write!(out, ",\"heat\":{},\"buckets\":", fmt_f64(decayed));
+                    push_json_str(&mut out, &buckets.join(" "));
+                    let _ = writeln!(out, "}}");
+                }
+            }
+        }
+        drop(w);
+        if matches!(what, WHAT_ALL | WHAT_FLIGHT) {
+            for trace in self.flight_dump(site) {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"flight_trace\",\"seq\":{},\"root_site\":{},\"trigger\":\"{}\",\
+                     \"sealed_at\":{},\"truncated\":{},\"spans\":{}}}",
+                    trace.seq,
+                    trace.root_site,
+                    trace.trigger,
+                    fmt_f64(trace.sealed_at),
+                    trace.truncated,
+                    trace.spans.len()
+                );
+                for sp in &trace.spans {
+                    let line = span_to_jsonl(sp);
+                    let rest = line.strip_prefix('{').unwrap_or(&line);
+                    let _ = writeln!(out, "{{\"trace\":{},{rest}", trace.seq);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The payload a scrape returned when the target had no telemetry plane
+/// attached (plain recorder, or none). Still one well-formed header line.
+pub fn disabled_payload(site: u32, now: f64) -> String {
+    format!(
+        "{{\"type\":\"telemetry\",\"site\":{},\"now\":{},\"what\":0,\"enabled\":false}}\n",
+        site,
+        fmt_f64(now)
+    )
+}
+
+// ---------------------------------------------------------------------
+// Payload parsing (the observer side of the scrape protocol)
+// ---------------------------------------------------------------------
+
+/// One flight-recorder trace as parsed back from a payload.
+#[derive(Debug, Clone)]
+pub struct ParsedTrace {
+    pub seq: u64,
+    pub root_site: u32,
+    pub trigger: String,
+    pub spans: Vec<SpanRecord>,
+}
+
+/// A parsed scrape payload: the header plus whatever sections were
+/// present. This is what the remote-scrape tests and the future placement
+/// controller consume.
+#[derive(Debug, Clone)]
+pub struct ParsedPayload {
+    pub site: u32,
+    pub now: f64,
+    pub enabled: bool,
+    pub health: HealthState,
+    pub health_transitions: u64,
+    /// `name → (total, evicted, windowed)` for every windowed counter.
+    pub counters: BTreeMap<String, (u64, u64, u64)>,
+    /// `name → (win_count, win_p99)` for every windowed histogram.
+    pub hists: BTreeMap<String, (u64, f64)>,
+    /// `path → decayed heat` for every tracked fragment.
+    pub heat: BTreeMap<String, f64>,
+    pub traces: Vec<ParsedTrace>,
+}
+
+/// Parses a scrape payload produced by [`TelemetryPlane::payload`].
+pub fn parse_payload(text: &str) -> Result<ParsedPayload, String> {
+    let mut header: Option<(u32, f64, bool, HealthState, u64)> = None;
+    let mut counters = BTreeMap::new();
+    let mut hists = BTreeMap::new();
+    let mut heat = BTreeMap::new();
+    let mut traces: Vec<ParsedTrace> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let f = parse_flat(t).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let str_of = |k: &str| f.get(k).and_then(JVal::as_str).map(str::to_string);
+        let u64_of = |k: &str| f.get(k).and_then(JVal::as_u64);
+        let f64_of = |k: &str| f.get(k).and_then(JVal::as_f64);
+        if f.contains_key("trace") {
+            // A span line belonging to the most recent flight_trace.
+            let seq = u64_of("trace").ok_or("bad trace ref")?;
+            let span = span_from_jsonl(t).map_err(|e| format!("line {}: {e}", i + 1))?;
+            match traces.iter_mut().rev().find(|tr| tr.seq == seq) {
+                Some(tr) => tr.spans.push(span),
+                None => return Err(format!("line {}: span for unknown trace {seq}", i + 1)),
+            }
+            continue;
+        }
+        match str_of("type").as_deref() {
+            Some("telemetry") => {
+                let site = u64_of("site").ok_or("header missing site")? as u32;
+                let now = f64_of("now").ok_or("header missing now")?;
+                let enabled = matches!(f.get("enabled"), Some(JVal::B(true)));
+                let health = str_of("health")
+                    .and_then(|s| HealthState::parse(&s))
+                    .unwrap_or(HealthState::Healthy);
+                header = Some((site, now, enabled, health, u64_of("health_transitions").unwrap_or(0)));
+            }
+            Some("win_counter") => {
+                counters.insert(
+                    str_of("name").ok_or("win_counter missing name")?,
+                    (
+                        u64_of("total").unwrap_or(0),
+                        u64_of("evicted").unwrap_or(0),
+                        u64_of("windowed").unwrap_or(0),
+                    ),
+                );
+            }
+            Some("win_hist") => {
+                hists.insert(
+                    str_of("name").ok_or("win_hist missing name")?,
+                    (u64_of("win_count").unwrap_or(0), f64_of("win_p99").unwrap_or(0.0)),
+                );
+            }
+            Some("heat") => {
+                heat.insert(
+                    str_of("path").ok_or("heat missing path")?,
+                    f64_of("heat").unwrap_or(0.0),
+                );
+            }
+            Some("flight_trace") => {
+                traces.push(ParsedTrace {
+                    seq: u64_of("seq").ok_or("flight_trace missing seq")?,
+                    root_site: u64_of("root_site").unwrap_or(0) as u32,
+                    trigger: str_of("trigger").unwrap_or_default(),
+                    spans: Vec::new(),
+                });
+            }
+            other => return Err(format!("line {}: unknown payload line type {other:?}", i + 1)),
+        }
+    }
+    let (site, now, enabled, health, health_transitions) =
+        header.ok_or("payload has no telemetry header line")?;
+    Ok(ParsedPayload {
+        site,
+        now,
+        enabled,
+        health,
+        health_transitions,
+        counters,
+        hists,
+        heat,
+        traces,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The recorder
+// ---------------------------------------------------------------------
+
+/// The production recorder: metrics in a [`Registry`], every span routed
+/// through the flight recorder's tail sampler, windows advanced at
+/// sample points. Optionally retains all spans (`keep_spans`) so the
+/// trace-structure oracles can validate it against [`crate::MemRecorder`].
+#[derive(Debug)]
+pub struct TelemetryRecorder {
+    next_id: AtomicU64,
+    registry: Registry,
+    plane: TelemetryPlane,
+    kept: Mutex<Vec<SpanRecord>>,
+}
+
+impl TelemetryRecorder {
+    pub fn new() -> Arc<TelemetryRecorder> {
+        Self::with_config(TelemetryConfig::default())
+    }
+
+    pub fn with_config(cfg: TelemetryConfig) -> Arc<TelemetryRecorder> {
+        Arc::new(TelemetryRecorder {
+            next_id: AtomicU64::new(0),
+            registry: Registry::new(),
+            plane: TelemetryPlane::new(cfg),
+            kept: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub fn plane(&self) -> &TelemetryPlane {
+        &self.plane
+    }
+
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// All spans recorded so far (empty unless `keep_spans` is set).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.kept.lock().unwrap().clone()
+    }
+}
+
+impl Recorder for TelemetryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn record_span(&self, span: SpanRecord) {
+        self.plane.ingest_span(&span);
+        if self.plane.cfg.keep_spans {
+            self.kept.lock().unwrap().push(span);
+        }
+    }
+
+    fn registry(&self) -> Option<&Registry> {
+        Some(&self.registry)
+    }
+
+    fn telemetry(&self) -> Option<&TelemetryPlane> {
+        Some(&self.plane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, link: Link, site: u32, kind: SpanKind, t0: f64) -> SpanRecord {
+        SpanRecord::new(id, link, site, kind, t0)
+    }
+
+    #[test]
+    fn counter_window_buckets_sum_to_total() {
+        let mut w = CounterWindow::default();
+        for i in 0..100u64 {
+            w.add(i, i % 3, 4);
+        }
+        assert_eq!(w.evicted + w.windowed(), w.total);
+        assert!(w.buckets.len() <= 4);
+    }
+
+    #[test]
+    fn window_delta_merge_is_order_insensitive() {
+        let mk = |site: u32, name: &str, idx: u64, v: u64| {
+            let mut d = WindowDelta { width: 5.0, ..WindowDelta::default() };
+            let mut cw = CounterWindow::default();
+            cw.add(idx, v, 24);
+            d.counters.insert((site, name.to_string()), cw);
+            d
+        };
+        let (a, b, c) = (mk(1, "x", 3, 2), mk(1, "x", 4, 5), mk(2, "x", 3, 7));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut c_ba = c.clone();
+        let mut ba = b.clone();
+        ba.merge(&a);
+        c_ba.merge(&ba);
+        assert_eq!(ab_c, c_ba);
+    }
+
+    #[test]
+    fn sampling_diffs_cumulative_series() {
+        let plane = TelemetryPlane::new(TelemetryConfig::default());
+        let reg = Registry::new();
+        let c = reg.counter(1, "oa.user_queries");
+        c.add(10);
+        plane.sample_site(1, 0.0, &reg);
+        c.add(5);
+        plane.sample_site(1, 6.0, &reg);
+        let d = plane.window_delta(1);
+        let win = &d.counters[&(1, "oa.user_queries".to_string())];
+        assert_eq!(win.total, 15);
+        assert_eq!(win.evicted + win.windowed(), 15);
+        assert_eq!(win.buckets.get(&0), Some(&10));
+        assert_eq!(win.buckets.get(&1), Some(&5));
+    }
+
+    #[test]
+    fn health_degrades_on_windowed_retries_and_recovers() {
+        let plane = TelemetryPlane::new(TelemetryConfig {
+            window_width: 5.0,
+            window_depth: 2,
+            ..TelemetryConfig::default()
+        });
+        let reg = Registry::new();
+        let retries = reg.counter(1, "oa.retries_sent");
+        plane.sample_site(1, 0.0, &reg);
+        assert_eq!(plane.health(1), HealthState::Healthy);
+        retries.add(3);
+        plane.sample_site(1, 5.0, &reg);
+        assert_eq!(plane.health(1), HealthState::Degraded);
+        assert_eq!(reg.counter(1, "health.state").get(), 1);
+        // No new retries: once the hot bucket rotates out, healthy again.
+        plane.sample_site(1, 20.0, &reg);
+        assert_eq!(plane.health(1), HealthState::Healthy);
+        assert_eq!(reg.counter(1, "health.state").get(), 0);
+    }
+
+    #[test]
+    fn unreachable_is_substrate_driven() {
+        let plane = TelemetryPlane::new(TelemetryConfig::default());
+        plane.set_reachable(3, false);
+        assert_eq!(plane.health(3), HealthState::Unreachable);
+        plane.set_reachable(3, true);
+        assert_eq!(plane.health(3), HealthState::Healthy);
+        assert_eq!(HealthState::classify_probe(None), HealthState::Unreachable);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_partial_trace_and_drops_clean_one() {
+        let plane = TelemetryPlane::new(TelemetryConfig::default());
+        // Clean trace: root + finalize, no triggers.
+        plane.ingest_span(&span(1, Link::Root { endpoint: 9, qid: 1 }, 1, SpanKind::UserQuery, 0.0));
+        plane.ingest_span(&span(2, Link::ChildOf { parent: 1 }, 1, SpanKind::Execute, 0.0));
+        let mut fin = span(3, Link::ChildOf { parent: 1 }, 1, SpanKind::Finalize, 0.1);
+        fin.detail = "user".into();
+        plane.ingest_span(&fin);
+        assert!(plane.flight_dump(1).is_empty());
+        assert_eq!(plane.pending_groups(), 0);
+
+        // Partial trace: retained with trigger "partial".
+        plane.ingest_span(&span(4, Link::Root { endpoint: 9, qid: 2 }, 1, SpanKind::UserQuery, 1.0));
+        let mut ans = span(5, Link::ChildOf { parent: 4 }, 1, SpanKind::SubAnswer, 1.2);
+        ans.partial = true;
+        plane.ingest_span(&ans);
+        let mut fin = span(6, Link::ChildOf { parent: 4 }, 1, SpanKind::Finalize, 1.3);
+        fin.detail = "user".into();
+        fin.partial = true;
+        plane.ingest_span(&fin);
+        let dump = plane.flight_dump(1);
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].trigger, "partial");
+        assert_eq!(dump[0].spans.len(), 3);
+    }
+
+    #[test]
+    fn flight_recorder_stitches_cross_site_spans() {
+        let plane = TelemetryPlane::new(TelemetryConfig::default());
+        plane.ingest_span(&span(1, Link::Root { endpoint: 7, qid: 1 }, 1, SpanKind::UserQuery, 0.0));
+        let mut ask = span(2, Link::ChildOf { parent: 1 }, 1, SpanKind::Ask, 0.0);
+        ask.corr = 42;
+        plane.ingest_span(&ask);
+        // Remote site's sub-query chains through the ask correlation.
+        plane.ingest_span(&span(3, Link::Ask { asker: 1, sub_qid: 42 }, 2, SpanKind::SubQuery, 0.1));
+        let mut retry = span(4, Link::ChildOf { parent: 2 }, 1, SpanKind::Retry, 0.5);
+        retry.corr = 42;
+        plane.ingest_span(&retry);
+        let mut fin = span(5, Link::ChildOf { parent: 1 }, 1, SpanKind::Finalize, 0.9);
+        fin.detail = "user".into();
+        plane.ingest_span(&fin);
+        let dump = plane.flight_dump(1);
+        assert_eq!(dump.len(), 1, "retry must have triggered retention");
+        assert_eq!(dump[0].trigger, "retry");
+        assert!(dump[0].spans.iter().any(|s| s.site == 2), "remote span stitched in");
+    }
+
+    #[test]
+    fn flight_ring_honors_budgets_and_recency() {
+        let mut ring = FlightRing::new(2, 10_000);
+        let mk = |seq: u64| FlightTrace {
+            seq,
+            root_site: 1,
+            trigger: "latency".into(),
+            sealed_at: 0.0,
+            truncated: false,
+            spans: vec![span(seq, Link::Root { endpoint: 1, qid: seq }, 1, SpanKind::UserQuery, 0.0)],
+        };
+        for s in 1..=5 {
+            ring.push(mk(s));
+        }
+        let seqs: Vec<u64> = ring.traces().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![4, 5], "most recent retained, oldest evicted");
+        assert!(ring.bytes() <= 10_000);
+    }
+
+    #[test]
+    fn payload_round_trips_through_parser() {
+        let plane = TelemetryPlane::new(TelemetryConfig::default());
+        let reg = Registry::new();
+        reg.counter(1, "oa.user_queries").add(4);
+        reg.histogram(1, "des.queue_wait").observe(0.01);
+        plane.sample_site(1, 2.0, &reg);
+        plane.record_heat(1, 2.0, &[("/usRegion[NE]/state[PA]".into(), 3.5)]);
+        plane.ingest_span(&span(1, Link::Root { endpoint: 3, qid: 8 }, 1, SpanKind::UserQuery, 0.0));
+        let mut fin = span(2, Link::ChildOf { parent: 1 }, 1, SpanKind::Finalize, 0.2);
+        fin.detail = "user".into();
+        fin.partial = true;
+        plane.ingest_span(&fin);
+        let text = plane.payload(1, WHAT_ALL, 2.5);
+        let p = parse_payload(&text).expect("payload parses");
+        assert_eq!(p.site, 1);
+        assert!(p.enabled);
+        assert_eq!(p.counters["oa.user_queries"].0, 4);
+        assert!(p.hists.contains_key("des.queue_wait"));
+        assert!((p.heat["/usRegion[NE]/state[PA]"] - 3.5).abs() < 0.1);
+        assert_eq!(p.traces.len(), 1);
+        assert_eq!(p.traces[0].trigger, "partial");
+        assert_eq!(p.traces[0].spans.len(), 2);
+        assert_eq!(p.traces[0].spans[0].kind, SpanKind::UserQuery);
+
+        let parsed = parse_payload(&disabled_payload(4, 1.0)).expect("disabled parses");
+        assert!(!parsed.enabled);
+        assert_eq!(parsed.site, 4);
+    }
+
+    #[test]
+    fn heat_series_displaces_coldest_at_cap() {
+        let plane = TelemetryPlane::new(TelemetryConfig { heat_top: 2, ..TelemetryConfig::default() });
+        plane.record_heat(1, 0.0, &[("/a".into(), 1.0), ("/b".into(), 2.0)]);
+        plane.record_heat(1, 1.0, &[("/c".into(), 5.0)]);
+        let text = plane.payload(1, WHAT_METRICS, 1.0);
+        let p = parse_payload(&text).unwrap();
+        assert_eq!(p.heat.len(), 2);
+        assert!(p.heat.contains_key("/c"), "hotter series displaces coldest");
+        assert!(!p.heat.contains_key("/a"));
+    }
+}

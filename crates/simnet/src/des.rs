@@ -213,6 +213,9 @@ pub struct DesCluster {
     /// Span timestamps use *virtual* time, so DES traces are structurally
     /// comparable with live ones but deterministically timed.
     recorder: Option<Arc<dyn Recorder>>,
+    /// Scrapes issued so far; allocates collision-free qids/endpoints for
+    /// [`DesCluster::scrape`].
+    scrape_seq: u64,
 }
 
 impl DesCluster {
@@ -238,6 +241,7 @@ impl DesCluster {
             trace: Trace::new(),
             link_latency: HashMap::new(),
             recorder: None,
+            scrape_seq: 0,
         }
     }
 
@@ -291,7 +295,13 @@ impl DesCluster {
     /// [`DesCluster::restart_site`] between `run_until` calls.
     pub fn remove_site(&mut self, addr: SiteAddr) -> Option<OrganizingAgent> {
         self.tick_scheduled.remove(&addr);
-        self.sites.remove(&addr).map(|s| s.oa)
+        let oa = self.sites.remove(&addr).map(|s| s.oa);
+        if oa.is_some() {
+            if let Some(tel) = self.recorder.as_ref().and_then(|r| r.telemetry()) {
+                tel.set_reachable(addr.0, false);
+            }
+        }
+        oa
     }
 
     /// (Re)installs a site after [`DesCluster::remove_site`] — the restart
@@ -302,6 +312,9 @@ impl DesCluster {
         let addr = oa.addr;
         self.add_site(oa);
         self.schedule_site_tick(addr);
+        if let Some(tel) = self.recorder.as_ref().and_then(|r| r.telemetry()) {
+            tel.set_reachable(addr.0, true);
+        }
     }
 
     /// Access a site's agent (e.g. to inspect stats after a run).
@@ -370,6 +383,39 @@ impl DesCluster {
     /// Schedules a raw message delivery (admin traffic, SA updates, ...).
     pub fn schedule_message(&mut self, at: f64, to: SiteAddr, msg: Message) {
         self.push(at, Payload::ToSite(to, msg));
+    }
+
+    /// Remote-scrapes `site`'s telemetry plane the way a cross-process
+    /// observer would: a [`Message::TelemetryRequest`] is scheduled like
+    /// any other client message, the simulation runs forward until the
+    /// reply lands, and the JSONL payload comes back. `None` means the
+    /// site never answered within the probe window (removed or crashed) —
+    /// the caller's cue to classify it Unreachable
+    /// (`HealthState::classify_probe`). Scraping advances virtual time
+    /// slightly but sends no spans and perturbs no query state.
+    pub fn scrape(&mut self, site: SiteAddr, what: u8) -> Option<String> {
+        self.scrape_seq += 1;
+        // High qid/endpoint ranges never collide with workload clients.
+        let qid = u64::MAX - self.scrape_seq;
+        let endpoint = Endpoint(u64::MAX - self.scrape_seq);
+        self.push(
+            self.now,
+            Payload::ToSite(
+                site,
+                Message::TelemetryRequest { qid, reply_to: SiteAddr(0), endpoint, what },
+            ),
+        );
+        // Probe window: delivery + service + reply latency, doubled per
+        // attempt so a busy site still answers before we give up.
+        let mut window = self.costs.net_latency.mul_add(4.0, 1.0);
+        for _ in 0..8 {
+            self.run_until(self.now + window);
+            if let Some(pos) = self.unclaimed_replies.iter().position(|r| r.qid == qid) {
+                return Some(self.unclaimed_replies.remove(pos).answer_xml);
+            }
+            window *= 2.0;
+        }
+        None
     }
 
     /// Sets the TTL of the *client-side* DNS cache (default: effectively

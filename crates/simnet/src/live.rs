@@ -165,6 +165,7 @@ impl LiveCluster {
         let addr = oa.addr;
         let (tx, rx) = unbounded::<Envelope>();
         self.senders.lock().insert(addr, tx.clone());
+        self.mark_reachable(addr, true);
         let dns = self.dns.clone();
         let senders = self.senders.clone();
         let replies = self.replies.clone();
@@ -203,6 +204,27 @@ impl LiveCluster {
         if let Some(tx) = self.senders.lock().get(&to) {
             let _ = tx.send(Envelope::Msg(msg));
         }
+    }
+
+    /// Pulls a telemetry payload (`what` is one of the `irisobs::WHAT_*`
+    /// selectors) from a running site and blocks for the reply. Returns
+    /// `None` on timeout or if the site is gone — callers classify that as
+    /// `Unreachable`, matching the health FSM.
+    pub fn scrape_site(
+        &self,
+        site: SiteAddr,
+        what: u8,
+        timeout: Duration,
+    ) -> Option<String> {
+        scrape_at(
+            &self.senders,
+            &self.replies,
+            &self.next_endpoint,
+            &self.next_qid,
+            site,
+            what,
+            timeout,
+        )
     }
 
     /// Poses a query using self-starting routing (LCA extraction + DNS) and
@@ -264,8 +286,17 @@ impl LiveCluster {
     pub fn stop_site(&mut self, addr: SiteAddr) -> Option<OrganizingAgent> {
         let h = self.sites.remove(&addr)?;
         self.senders.lock().remove(&addr);
+        self.mark_reachable(addr, false);
         let _ = h.tx.send(Envelope::Stop);
         Some(h.join.join().expect("site thread panicked"))
+    }
+
+    /// Flips the telemetry health FSM for `addr` when the cluster knows the
+    /// site went down or came back (no-op without a telemetry plane).
+    fn mark_reachable(&self, addr: SiteAddr, up: bool) {
+        if let Some(tel) = self.recorder.as_ref().and_then(|r| r.telemetry()) {
+            tel.set_reachable(addr.0, up);
+        }
     }
 
     /// Restarts a site after [`LiveCluster::stop_site`]: spawns a fresh
@@ -299,6 +330,9 @@ impl LiveCluster {
             for addr in self.sites.keys() {
                 s.remove(addr);
             }
+        }
+        for addr in self.sites.keys().copied().collect::<Vec<_>>() {
+            self.mark_reachable(addr, false);
         }
         let handles: Vec<SiteHandle> = self.sites.drain().map(|(_, h)| h).collect();
         for h in &handles {
@@ -371,6 +405,64 @@ impl LiveClient {
             timeout,
         )
     }
+
+    /// Client-side telemetry pull: the [`LiveCluster::scrape_site`]
+    /// counterpart for per-thread client handles.
+    pub fn scrape_site(
+        &self,
+        site: SiteAddr,
+        what: u8,
+        timeout: Duration,
+    ) -> Option<String> {
+        scrape_at(
+            &self.senders,
+            &self.replies,
+            &self.next_endpoint,
+            &self.next_qid,
+            site,
+            what,
+            timeout,
+        )
+    }
+}
+
+/// Shared scrape-and-wait path for [`LiveCluster`] and [`LiveClient`]:
+/// a `TelemetryRequest` with the client sentinel (`reply_to` 0) rides the
+/// same mailbox as queries, and the payload comes back over the per-request
+/// reply channel. `None` means the site never answered within `timeout`.
+fn scrape_at(
+    senders: &Mutex<HashMap<SiteAddr, Sender<Envelope>>>,
+    replies: &Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>,
+    next_endpoint: &AtomicU64,
+    next_qid: &AtomicU64,
+    site: SiteAddr,
+    what: u8,
+    timeout: Duration,
+) -> Option<String> {
+    let endpoint = Endpoint(next_endpoint.fetch_add(1, Ordering::Relaxed));
+    let qid = next_qid.fetch_add(1, Ordering::Relaxed);
+    let (rtx, rrx) = unbounded();
+    replies.lock().insert(endpoint, rtx);
+    let sent = senders
+        .lock()
+        .get(&site)
+        .map(|tx| {
+            tx.send(Envelope::Msg(Message::TelemetryRequest {
+                qid,
+                reply_to: SiteAddr(0),
+                endpoint,
+                what,
+            }))
+            .is_ok()
+        })
+        .unwrap_or(false);
+    if !sent {
+        replies.lock().remove(&endpoint);
+        return None;
+    }
+    let got = rrx.recv_timeout(timeout).ok();
+    replies.lock().remove(&endpoint);
+    got.map(|(_, payload, _, _)| payload)
 }
 
 /// Shared pose-and-wait path for [`LiveCluster`] and [`LiveClient`].

@@ -135,13 +135,21 @@ impl Router {
     }
 
     /// Unregisters every site owned by `shard`; subsequent poses to those
-    /// sites fail fast with `SiteDown`.
-    fn unregister_shard(&self, shard: usize) {
-        self.shard_of.lock().retain(|_, s| *s != shard);
+    /// sites fail fast with `SiteDown`. Returns the unrouted addresses so
+    /// the caller can flip their telemetry health FSMs.
+    fn unregister_shard(&self, shard: usize) -> Vec<SiteAddr> {
+        let mut map = self.shard_of.lock();
+        let gone: Vec<SiteAddr> =
+            map.iter().filter(|(_, s)| **s == shard).map(|(a, _)| *a).collect();
+        map.retain(|_, s| *s != shard);
+        gone
     }
 
-    fn unregister_all(&self) {
-        self.shard_of.lock().clear();
+    fn unregister_all(&self) -> Vec<SiteAddr> {
+        let mut map = self.shard_of.lock();
+        let gone: Vec<SiteAddr> = map.keys().copied().collect();
+        map.clear();
+        gone
     }
 }
 
@@ -323,8 +331,21 @@ impl ShardedCluster {
             self.joins.push(Some(join));
         }
         self.router = Some(router);
+        if let Some(r) = &self.router {
+            for addr in r.shard_of.lock().keys() {
+                self.mark_reachable(*addr, true);
+            }
+        }
         self.maybe_spawn_delayer();
         self.publish_runtime_metrics();
+    }
+
+    /// Flips the telemetry health FSM for `addr` when the cluster knows
+    /// the site went down or came back (no-op without a telemetry plane).
+    fn mark_reachable(&self, addr: SiteAddr, up: bool) {
+        if let Some(tel) = self.recorder.as_ref().and_then(|r| r.telemetry()) {
+            tel.set_reachable(addr.0, up);
+        }
     }
 
     fn maybe_spawn_delayer(&mut self) {
@@ -411,6 +432,29 @@ impl ShardedCluster {
         )
     }
 
+    /// Pulls a telemetry payload (`what` is one of the `irisobs::WHAT_*`
+    /// selectors) from a running site and blocks for the reply. The
+    /// request crosses the wire boundary like any client message, so the
+    /// frames round-trip through the codec. Returns `None` on timeout or
+    /// if the site is gone — callers classify that as `Unreachable`.
+    pub fn scrape_site(
+        &self,
+        site: SiteAddr,
+        what: u8,
+        timeout: Duration,
+    ) -> Option<String> {
+        let router = self.router.as_ref().expect("scrape before start");
+        scrape_routed(
+            router,
+            &self.replies,
+            &self.next_endpoint,
+            &self.next_qid,
+            site,
+            what,
+            timeout,
+        )
+    }
+
     /// Registers a continuous query at `site` and returns the stream of
     /// pushed answers (§7): the initial snapshot first, then one message
     /// per change.
@@ -438,6 +482,7 @@ impl ShardedCluster {
         // message can be enqueued for the site, so the Detach is the last
         // envelope that references it.
         let shard = router.shard_of.lock().remove(&addr)?;
+        self.mark_reachable(addr, false);
         let (rtx, rrx) = unbounded();
         if router.shard_txs[shard]
             .send(ShardEnvelope::Detach { site: addr, reply: rtx })
@@ -470,6 +515,8 @@ impl ShardedCluster {
             "restart_site: owning shard is stopped"
         );
         map.insert(addr, shard);
+        drop(map);
+        self.mark_reachable(addr, true);
     }
 
     /// Stops one shard mid-run and returns its agents. Its sites are
@@ -482,7 +529,9 @@ impl ShardedCluster {
         let Some(join) = self.joins.get_mut(shard).and_then(|j| j.take()) else {
             return Vec::new();
         };
-        router.unregister_shard(shard);
+        for addr in router.unregister_shard(shard) {
+            self.mark_reachable(addr, false);
+        }
         let _ = router.shard_txs[shard].send(ShardEnvelope::Stop);
         join.join().expect("shard thread panicked")
     }
@@ -496,7 +545,9 @@ impl ShardedCluster {
     pub fn shutdown(mut self) -> Vec<OrganizingAgent> {
         let mut agents: Vec<OrganizingAgent> = Vec::new();
         if let Some(router) = self.router.take() {
-            router.unregister_all();
+            for addr in router.unregister_all() {
+                self.mark_reachable(addr, false);
+            }
             for (i, j) in self.joins.iter().enumerate() {
                 if j.is_some() {
                     let _ = router.shard_txs[i].send(ShardEnvelope::Stop);
@@ -562,6 +613,56 @@ impl ShardClient {
             timeout,
         )
     }
+
+    /// Client-side telemetry pull: the [`ShardedCluster::scrape_site`]
+    /// counterpart for per-thread client handles.
+    pub fn scrape_site(
+        &self,
+        site: SiteAddr,
+        what: u8,
+        timeout: Duration,
+    ) -> Option<String> {
+        scrape_routed(
+            &self.router,
+            &self.replies,
+            &self.next_endpoint,
+            &self.next_qid,
+            site,
+            what,
+            timeout,
+        )
+    }
+}
+
+/// Shared scrape-and-wait path: frames a `TelemetryRequest` with the
+/// client sentinel (`reply_to` 0) across the wire boundary; the payload
+/// comes back over the per-request reply channel. `None` means the site is
+/// unrouted or never answered within `timeout`.
+fn scrape_routed(
+    router: &Router,
+    replies: &Mutex<HashMap<Endpoint, Sender<ReplyTuple>>>,
+    next_endpoint: &AtomicU64,
+    next_qid: &AtomicU64,
+    site: SiteAddr,
+    what: u8,
+    timeout: Duration,
+) -> Option<String> {
+    let endpoint = Endpoint(next_endpoint.fetch_add(1, Ordering::Relaxed));
+    let qid = next_qid.fetch_add(1, Ordering::Relaxed);
+    let (rtx, rrx) = unbounded();
+    replies.lock().insert(endpoint, rtx);
+    let sent = router.deliver(
+        None,
+        site,
+        Message::TelemetryRequest { qid, reply_to: SiteAddr(0), endpoint, what },
+    );
+    if !sent {
+        replies.lock().remove(&endpoint);
+        return None;
+    }
+    let got = rrx.recv_timeout(timeout).ok();
+    replies.lock().remove(&endpoint);
+    got.map(|(_, payload, _, _)| payload)
 }
 
 /// Shared pose-and-wait path: frames the `UserQuery` (clients always cross

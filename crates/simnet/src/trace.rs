@@ -21,6 +21,7 @@ pub enum MsgClass {
     Update,
     Migration,
     Subscription,
+    Telemetry,
 }
 
 impl MsgClass {
@@ -35,17 +36,21 @@ impl MsgClass {
             | Message::TakeOwnership { .. }
             | Message::TakeAck { .. } => MsgClass::Migration,
             Message::Subscribe { .. } | Message::Unsubscribe { .. } => MsgClass::Subscription,
+            Message::TelemetryRequest { .. } | Message::TelemetryReply { .. } => {
+                MsgClass::Telemetry
+            }
         }
     }
 
     /// All classes, in display order.
-    pub const ALL: [MsgClass; 6] = [
+    pub const ALL: [MsgClass; 7] = [
         MsgClass::UserQuery,
         MsgClass::SubQuery,
         MsgClass::SubAnswer,
         MsgClass::Update,
         MsgClass::Migration,
         MsgClass::Subscription,
+        MsgClass::Telemetry,
     ];
 
     fn label(self) -> &'static str {
@@ -56,6 +61,7 @@ impl MsgClass {
             MsgClass::Update => "update",
             MsgClass::Migration => "migration",
             MsgClass::Subscription => "subscription",
+            MsgClass::Telemetry => "telemetry",
         }
     }
 }

@@ -44,6 +44,11 @@ mod tag {
     pub const TAKE_ACK: u8 = 8;
     pub const SUBSCRIBE: u8 = 9;
     pub const UNSUBSCRIBE: u8 = 10;
+    // Tags 11/12 were appended for the telemetry scrape protocol; a
+    // version-1 decoder predating them rejects the frame with
+    // `UnknownTag` rather than misreading it, so no version bump.
+    pub const TELEMETRY_REQUEST: u8 = 11;
+    pub const TELEMETRY_REPLY: u8 = 12;
 }
 
 /// Decode failures. Every variant names what the peer got wrong, so a
@@ -171,6 +176,18 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
         Message::Unsubscribe { qid } => {
             p.push(tag::UNSUBSCRIBE);
             put_u64(&mut p, *qid);
+        }
+        Message::TelemetryRequest { qid, reply_to, endpoint, what } => {
+            p.push(tag::TELEMETRY_REQUEST);
+            put_u64(&mut p, *qid);
+            put_u32(&mut p, reply_to.0);
+            put_u64(&mut p, endpoint.0);
+            p.push(*what);
+        }
+        Message::TelemetryReply { qid, payload } => {
+            p.push(tag::TELEMETRY_REPLY);
+            put_u64(&mut p, *qid);
+            put_str(&mut p, payload);
         }
     }
     let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + p.len());
@@ -308,6 +325,18 @@ fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
         tag::UNSUBSCRIBE => {
             let qid = r.u64()?;
             Message::Unsubscribe { qid }
+        }
+        tag::TELEMETRY_REQUEST => {
+            let qid = r.u64()?;
+            let reply_to = SiteAddr(r.u32()?);
+            let endpoint = Endpoint(r.u64()?);
+            let what = r.u8()?;
+            Message::TelemetryRequest { qid, reply_to, endpoint, what }
+        }
+        tag::TELEMETRY_REPLY => {
+            let qid = r.u64()?;
+            let payload = r.string()?;
+            Message::TelemetryReply { qid, payload }
         }
         t => return Err(WireError::UnknownTag(t)),
     };

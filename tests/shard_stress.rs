@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use irisdns::SiteAddr;
 use irisnet_bench::{DbParams, ParkingDb, QueryType, Workload};
 use irisnet_core::{CacheMode, OaConfig, OrganizingAgent, RetryPolicy, Status};
+use irisobs::MemRecorder;
 use simnet::{ShardConfig, ShardedCluster};
 
 fn params() -> DbParams {
@@ -27,13 +28,15 @@ fn params() -> DbParams {
 /// exactly the leaves. Caching is off so every cross-neighborhood query
 /// re-asks the leaves, and the root's bounded retries make asks to dead
 /// sites abandon into partial answers instead of hanging.
-fn build(workers_per_shard: usize) -> ShardedCluster {
+fn build(workers_per_shard: usize) -> (ShardedCluster, Arc<MemRecorder>) {
     let db = ParkingDb::generate(params(), 7);
     let svc = db.service.clone();
     let mut cluster = ShardedCluster::with_config(
         svc.clone(),
         ShardConfig { shards: 2, workers_per_shard, force_wire: false },
     );
+    let recorder = MemRecorder::new();
+    cluster.set_recorder(recorder.clone());
     let root_cfg = OaConfig {
         cache: CacheMode::Off,
         retry: RetryPolicy::bounded(0.25, 1),
@@ -53,7 +56,7 @@ fn build(workers_per_shard: usize) -> ShardedCluster {
     }
     cluster.add_site(oa1);
     cluster.start();
-    cluster
+    (cluster, recorder)
 }
 
 /// Shared client body: warm-up queries must all succeed exactly; racing
@@ -114,7 +117,7 @@ fn client_body(
 
 #[test]
 fn stopping_a_shard_mid_workload_degrades_promptly() {
-    let mut cluster = build(2);
+    let (mut cluster, recorder) = build(2);
     const CLIENTS: u64 = 4;
     const RACES: usize = 12;
     let barrier = Arc::new(Barrier::new(CLIENTS as usize + 1));
@@ -146,6 +149,19 @@ fn stopping_a_shard_mid_workload_degrades_promptly() {
         "no query ever observed the stopped shard (exact={exact})"
     );
 
+    // The stopped leaves are unrouted: a scrape fails fast instead of
+    // timing out, while the surviving root shard still answers one.
+    assert!(
+        cluster.scrape_site(SiteAddr(2), irisobs::WHAT_HEALTH, Duration::from_secs(5)).is_none(),
+        "scrape of a stopped site must fail fast"
+    );
+    assert!(
+        cluster
+            .scrape_site(SiteAddr(1), irisobs::WHAT_HEALTH, Duration::from_secs(10))
+            .is_some(),
+        "surviving shard stopped answering scrapes"
+    );
+
     let remaining = cluster.shutdown();
     assert_eq!(remaining.len(), 1, "only the root site should remain");
     assert_eq!(remaining[0].addr, SiteAddr(1));
@@ -155,11 +171,29 @@ fn stopping_a_shard_mid_workload_degrades_promptly() {
         remaining[0].stats.asks_abandoned > 0,
         "retries to dead sites never abandoned"
     );
+
+    // The per-shard runtime series are keyed by full name — assert on the
+    // `(name, snapshot)` pairs rather than positional indexing, which
+    // breaks whenever a shard gains or loses a series.
+    let snap = recorder.metrics().snapshot();
+    for shard in 0..2usize {
+        let prefix = format!("runtime.shard{shard}.");
+        let series = snap.histograms_with_prefix(0, &prefix);
+        let wait = series
+            .iter()
+            .find(|(name, _)| *name == format!("{prefix}mailbox_wait"))
+            .unwrap_or_else(|| panic!("{prefix}mailbox_wait series missing"));
+        assert!(wait.1.count > 0, "shard {shard} processed no messages");
+        assert!(
+            series.iter().any(|(name, _)| *name == format!("{prefix}mailbox_depth")),
+            "{prefix}mailbox_depth series missing"
+        );
+    }
 }
 
 #[test]
 fn full_shutdown_races_clients_without_stranding_them() {
-    let cluster = build(2);
+    let (cluster, _recorder) = build(2);
     const CLIENTS: u64 = 4;
     const RACES: usize = 20;
     let barrier = Arc::new(Barrier::new(CLIENTS as usize + 1));

@@ -1,0 +1,242 @@
+//! Telemetry-plane properties. Two families, matching the two data
+//! structures a scrape exposes:
+//!
+//! * Windowed delta-merge must be a commutative monoid action — scrapes
+//!   from many sites fold into a cluster view in whatever order replies
+//!   arrive, so `merge` has to be associative and order-insensitive, and
+//!   the `evicted + Σ buckets == total` conservation law has to survive
+//!   any merge. Sampling through a live `Registry` must uphold the same
+//!   law against the cumulative snapshot.
+//!
+//! * The flight-recorder ring must never exceed either of its budgets and
+//!   must always retain exactly the most recent admissible traces —
+//!   eviction is oldest-first and nothing ever resurrects.
+
+use irisobs::telemetry::{CounterWindow, HistWindow, WindowDelta};
+use irisobs::{FlightRing, FlightTrace, Link, Registry, SpanKind, SpanRecord};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// -----------------------------------------------------------------
+// Window-delta strategies
+// -----------------------------------------------------------------
+
+/// A counter window that satisfies the conservation law by construction.
+fn counter_window() -> Strat<CounterWindow> {
+    (vec((0u64..48, 1u64..200), 0..6), 0u64..500).prop_map(|(entries, evicted)| {
+        let mut w = CounterWindow { total: evicted, evicted, ..CounterWindow::default() };
+        for (idx, v) in entries {
+            *w.buckets.entry(idx).or_insert(0) += v;
+            w.total += v;
+        }
+        w
+    })
+}
+
+/// A histogram window satisfying the same law over nested buckets.
+fn hist_window() -> Strat<HistWindow> {
+    (vec((0u64..48, 0usize..252, 1u64..100), 0..6), 0u64..500).prop_map(
+        |(entries, evicted)| {
+            let mut w = HistWindow { total: evicted, evicted, ..HistWindow::default() };
+            for (idx, bucket, c) in entries {
+                *w.buckets.entry(idx).or_default().entry(bucket).or_insert(0) += c;
+                w.total += c;
+            }
+            w
+        },
+    )
+}
+
+fn series_key() -> Strat<(u32, String)> {
+    ((1u32..5), "[a-c]{1,3}").prop_map(|(site, name)| (site, name))
+}
+
+fn window_delta() -> Strat<WindowDelta> {
+    (
+        vec((series_key(), counter_window()), 0..5),
+        vec((series_key(), hist_window()), 0..4),
+    )
+        .prop_map(|(counters, hists)| {
+            let mut d = WindowDelta { width: 5.0, ..WindowDelta::default() };
+            for (k, w) in counters {
+                d.counters.entry(k).or_default().merge(&w);
+            }
+            for (k, w) in hists {
+                d.hists.entry(k).or_default().merge(&w);
+            }
+            d
+        })
+}
+
+fn merged(parts: &[WindowDelta]) -> WindowDelta {
+    let mut acc = WindowDelta::default();
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+fn conservation_holds(d: &WindowDelta) -> bool {
+    d.counters.values().all(|w| w.evicted + w.windowed() == w.total)
+        && d.hists.values().all(|w| w.evicted + w.windowed_count() == w.total)
+}
+
+// -----------------------------------------------------------------
+// Flight-ring strategies
+// -----------------------------------------------------------------
+
+/// A trace whose footprint is controlled by span count and detail length.
+fn trace(seq: u64, spans: usize, detail_len: usize) -> FlightTrace {
+    let spans = (0..spans)
+        .map(|i| {
+            let mut s = SpanRecord::new(
+                seq * 100 + i as u64 + 1,
+                Link::Root { endpoint: seq, qid: seq },
+                1,
+                SpanKind::UserQuery,
+                0.0,
+            );
+            s.detail = "d".repeat(detail_len);
+            s
+        })
+        .collect();
+    FlightTrace {
+        seq,
+        root_site: 1,
+        trigger: "partial".into(),
+        sealed_at: seq as f64,
+        truncated: false,
+        spans,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(a, b) == merge(b, a), and any permutation of many parts
+    /// folds to the same aggregate — scrape arrival order cannot matter.
+    #[test]
+    fn delta_merge_is_order_insensitive(parts in vec(window_delta(), 1..5)) {
+        let forward = merged(&parts);
+        let mut reversed_parts = parts.clone();
+        reversed_parts.reverse();
+        let reversed = merged(&reversed_parts);
+        prop_assert_eq!(&forward, &reversed, "merge depends on fold order");
+
+        // Rotation as a second, structurally different permutation.
+        let mut rotated_parts = parts.clone();
+        rotated_parts.rotate_left(parts.len() / 2);
+        prop_assert_eq!(&forward, &merged(&rotated_parts));
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): partial aggregates can themselves be
+    /// merged (a regional collector folding into a global one).
+    #[test]
+    fn delta_merge_is_associative(
+        a in window_delta(),
+        b in window_delta(),
+        c in window_delta(),
+    ) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right, "merge is not associative");
+    }
+
+    /// The conservation law `evicted + Σ buckets == total` holds for every
+    /// generated delta and survives merging.
+    #[test]
+    fn merge_preserves_bucket_conservation(parts in vec(window_delta(), 1..5)) {
+        for p in &parts {
+            prop_assert!(conservation_holds(p), "generator broke the invariant");
+        }
+        prop_assert!(
+            conservation_holds(&merged(&parts)),
+            "merge broke evicted + windowed == total"
+        );
+    }
+
+    /// Driving the plane through a real `Registry`: after any sequence of
+    /// counter bumps and histogram observations sampled at arbitrary
+    /// times, every windowed series totals to its cumulative snapshot.
+    #[test]
+    fn sampled_windows_total_to_the_cumulative_snapshot(
+        steps in vec((0u64..40, 1u64..50, 0usize..3), 1..20),
+    ) {
+        let tel = irisobs::TelemetryPlane::new(irisobs::TelemetryConfig {
+            window_depth: 4, // small depth so rotation actually evicts
+            ..irisobs::TelemetryConfig::default()
+        });
+        let reg = Registry::new();
+        let mut now = 0.0f64;
+        for (advance, bump, hist_obs) in steps {
+            now += advance as f64; // seconds; width is 5s, so buckets rotate
+            reg.counter(1, "oa.user_queries").add(bump);
+            for _ in 0..hist_obs {
+                reg.histogram(1, "des.queue_wait").observe(0.001 * bump as f64);
+            }
+            tel.sample_site(1, now, &reg);
+        }
+        let d = tel.window_delta(1);
+        let c = &d.counters[&(1, "oa.user_queries".to_string())];
+        prop_assert_eq!(c.total, reg.counter(1, "oa.user_queries").get());
+        prop_assert!(conservation_holds(&d), "plane sampling broke conservation");
+        if let Some(h) = d.hists.get(&(1, "des.queue_wait".to_string())) {
+            let snap = reg.snapshot();
+            let cum = snap
+                .histogram(1, "des.queue_wait")
+                .map(|s| s.count)
+                .unwrap_or(0);
+            prop_assert_eq!(h.total, cum, "hist window total != cumulative count");
+        }
+    }
+
+    /// The ring never exceeds either budget, its byte ledger matches the
+    /// retained traces, and it retains exactly the longest admissible
+    /// suffix of what was pushed — the N most recent traces that fit.
+    #[test]
+    fn flight_ring_respects_budgets_and_retains_most_recent(
+        shapes in vec((1usize..6, 0usize..120), 1..24),
+        max_traces in 1usize..8,
+        max_bytes in 200usize..4000,
+    ) {
+        let mut ring = FlightRing::new(max_traces, max_bytes);
+        let pushed: Vec<FlightTrace> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(spans, detail))| trace(i as u64, spans, detail))
+            .collect();
+        for t in &pushed {
+            ring.push(t.clone());
+            prop_assert!(ring.len() <= max_traces, "trace budget exceeded");
+            prop_assert!(ring.bytes() <= max_bytes, "byte budget exceeded");
+            let ledger: usize = ring.traces().map(|t| t.bytes()).sum();
+            prop_assert_eq!(ring.bytes(), ledger, "byte ledger drifted");
+        }
+
+        // Expected content: the longest suffix of admissible traces that
+        // fits both budgets. Anything evicted earlier could not be part of
+        // a fitting suffix now (budgets only tighten with more traces).
+        let admitted: Vec<&FlightTrace> =
+            pushed.iter().filter(|t| t.bytes() <= max_bytes).collect();
+        let mut keep = admitted.len();
+        while keep > 0 {
+            let tail = &admitted[admitted.len() - keep..];
+            let bytes: usize = tail.iter().map(|t| t.bytes()).sum();
+            if tail.len() <= max_traces && bytes <= max_bytes {
+                break;
+            }
+            keep -= 1;
+        }
+        let want: Vec<u64> =
+            admitted[admitted.len() - keep..].iter().map(|t| t.seq).collect();
+        let got: Vec<u64> = ring.traces().map(|t| t.seq).collect();
+        prop_assert_eq!(got, want, "ring does not hold the most recent suffix");
+    }
+}

@@ -56,6 +56,17 @@ fn message() -> Strat<Message> {
             Message::Subscribe { qid, text, endpoint: Endpoint(ep) }
         }),
         any::<u64>().prop_map(|qid| Message::Unsubscribe { qid }),
+        (any::<u64>(), site(), any::<u64>(), any::<u8>()).prop_map(
+            |(qid, reply_to, ep, what)| Message::TelemetryRequest {
+                qid,
+                reply_to,
+                endpoint: Endpoint(ep),
+                what,
+            }
+        ),
+        (any::<u64>(), text()).prop_map(|(qid, payload)| {
+            Message::TelemetryReply { qid, payload }
+        }),
     ]
 }
 
@@ -252,4 +263,37 @@ fn golden_frame_layout() {
         0x0D, 0x0C, 0x0B, 0x0A, 0, 0, 0, 0,
     ];
     assert_eq!(frame, expected, "Unsubscribe frame layout changed");
+
+    // TelemetryRequest { qid: 6, reply_to: 0 (client sentinel), endpoint: 2,
+    // what: 3 } — tag 11, appended for the scrape protocol without a
+    // version bump (older decoders reject it as UnknownTag).
+    let frame = encode_frame(&Message::TelemetryRequest {
+        qid: 6,
+        reply_to: SiteAddr(0),
+        endpoint: Endpoint(2),
+        what: 3,
+    });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,
+        22, 0, 0, 0,                // 1 + 8 + 4 + 8 + 1
+        11,                         // tag: TelemetryRequest
+        6, 0, 0, 0, 0, 0, 0, 0,     // qid
+        0, 0, 0, 0,                 // reply_to (0 = reply to the client)
+        2, 0, 0, 0, 0, 0, 0, 0,     // endpoint
+        3,                          // what selector
+    ];
+    assert_eq!(frame, expected, "TelemetryRequest frame layout changed");
+
+    // TelemetryReply { qid: 6, payload: "{}" } — tag 12.
+    let frame = encode_frame(&Message::TelemetryReply { qid: 6, payload: "{}".into() });
+    #[rustfmt::skip]
+    let expected: Vec<u8> = vec![
+        1,
+        15, 0, 0, 0,                // 1 + 8 + 4 + 2
+        12,                         // tag: TelemetryReply
+        6, 0, 0, 0, 0, 0, 0, 0,     // qid
+        2, 0, 0, 0, b'{', b'}',     // payload
+    ];
+    assert_eq!(frame, expected, "TelemetryReply frame layout changed");
 }
